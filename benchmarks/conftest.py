@@ -1,0 +1,24 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one of the paper's tables/figures on the
+simulated cluster and asserts the reproduction's *shape* (who wins, by
+roughly what factor, where crossovers fall).  The pytest-benchmark
+timings measure the simulator itself; the simulated microsecond
+results are printed and checked by the assertions.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under the benchmark timer.
+
+    The experiments are deterministic, so repeated rounds only re-time
+    the simulator; one round keeps the whole harness fast.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              iterations=1, rounds=1)

@@ -1,0 +1,52 @@
+"""Benchmarks of the simulator itself (wall-clock, pytest-benchmark's
+native use): event-loop throughput and end-to-end message cost."""
+
+from __future__ import annotations
+
+from repro.cluster import Cluster
+from repro.instrument.measure import measure_one_way
+from repro.sim import Environment
+
+
+def test_engine_event_throughput(benchmark):
+    """Raw event-loop speed: schedule/process 10k timeouts."""
+
+    def spin():
+        env = Environment()
+
+        def ticker():
+            for _ in range(10_000):
+                yield env.timeout(10)
+
+        env.process(ticker())
+        env.run()
+        return env.now
+
+    result = benchmark(spin)
+    assert result == 100_000
+
+
+def test_full_stack_message_cost(benchmark):
+    """Wall-clock cost of simulating one BCL round (cluster build +
+    a short latency measurement) — tracks simulator regressions."""
+
+    def one_measurement():
+        cluster = Cluster(n_nodes=2)
+        return measure_one_way(cluster, 1024, repeats=1,
+                               warmup=1).latency_us
+
+    latency = benchmark.pedantic(one_measurement, iterations=1, rounds=3)
+    assert 20.0 < latency < 60.0
+
+
+def test_streaming_simulation_cost(benchmark):
+    """Wall-clock cost of a 32-packet streaming run."""
+    from repro.workloads.streams import measure_streaming_bandwidth
+
+    def stream():
+        return measure_streaming_bandwidth(Cluster(n_nodes=2), 4096,
+                                           n_messages=32,
+                                           window=4).bandwidth_mb_s
+
+    bw = benchmark.pedantic(stream, iterations=1, rounds=3)
+    assert bw > 100.0

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Technical computing: a 2-D heat stencil with MPI over BCL.
+
+Four MPI ranks (one per simulated node) run Jacobi iterations on a
+row-partitioned grid, exchanging halo rows each step; the distributed
+result is verified against a single-process reference computation.
+This is the "high performance computing and data processing" usage the
+paper's computing nodes serve.
+
+Usage::
+
+    python examples/mpi_stencil.py [rows] [iterations]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import Cluster
+from repro.workloads.apps import reference_stencil, run_stencil
+
+
+def main() -> None:
+    rows = int(sys.argv[1]) if len(sys.argv) > 1 else 64
+    iterations = int(sys.argv[2]) if len(sys.argv) > 2 else 10
+    n_ranks = 4
+
+    print(f"running a {rows}x{rows} Jacobi stencil for {iterations} "
+          f"iterations on {n_ranks} MPI ranks (one per node)...")
+    cluster = Cluster(n_nodes=n_ranks)
+    result = run_stencil(cluster, n_ranks=n_ranks, rows=rows, cols=rows,
+                         iterations=iterations)
+    reference = reference_stencil(rows, rows, iterations)
+
+    ok = np.allclose(result.grid, reference)
+    print(f"  simulated time      : {result.elapsed_us:,.1f} us")
+    print(f"  final max residual  : {result.residual:.4f}")
+    print(f"  matches reference   : {ok}")
+    print(f"  traps taken         : {cluster.total_traps} "
+          f"(send-path only; receives never trap)")
+    print(f"  interrupts          : {cluster.total_interrupts} "
+          f"(the semi-user-level architecture needs none)")
+    if not ok:
+        raise SystemExit("distributed result diverged from the reference")
+
+    print("\nsame stencil with ranks packed 2-per-node "
+          "(halo exchange through shared memory):")
+    packed = run_stencil(Cluster(n_nodes=2), n_ranks=n_ranks, rows=rows,
+                         cols=rows, iterations=iterations,
+                         placement=[0, 0, 1, 1])
+    print(f"  simulated time      : {packed.elapsed_us:,.1f} us "
+          f"({result.elapsed_us / packed.elapsed_us:.2f}x vs all-remote)")
+    assert np.allclose(packed.grid, reference)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Quickstart: bring up a simulated DAWNING-3000 pair and measure BCL.
+
+Runs the paper's headline microbenchmarks on a two-node cluster:
+0-byte one-way latency (inter- and intra-node), the message-size sweep,
+and peak bandwidth — then prints them next to the paper's numbers.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from repro import Cluster, measure_intra_node, measure_one_way
+
+PAPER_INTER_LATENCY = 18.3
+PAPER_INTRA_LATENCY = 2.7
+PAPER_INTER_BW = 146.0
+PAPER_INTRA_BW = 391.0
+
+
+def main() -> None:
+    print("building a 2-node simulated Myrinet cluster (semi-user-level "
+          "BCL)...")
+    inter = measure_one_way(Cluster(n_nodes=2), nbytes=0).latency_us
+    intra = measure_intra_node(Cluster(n_nodes=1), nbytes=0).latency_us
+    print(f"  0-byte one-way latency : {inter:6.2f} us inter-node "
+          f"(paper {PAPER_INTER_LATENCY}), {intra:.2f} us intra-node "
+          f"(paper {PAPER_INTRA_LATENCY})")
+
+    print("\nmessage-size sweep (one-way):")
+    print(f"  {'bytes':>8}  {'latency us':>11}  {'MB/s':>7}")
+    for nbytes in (0, 64, 1024, 4096, 16384, 65536, 131072):
+        sample = measure_one_way(Cluster(n_nodes=2), nbytes, repeats=2,
+                                 warmup=1)
+        bw = sample.bandwidth_mb_s if nbytes else 0.0
+        print(f"  {nbytes:>8}  {sample.latency_us:>11.2f}  {bw:>7.1f}")
+
+    big_inter = measure_one_way(Cluster(n_nodes=2), 131072, repeats=2,
+                                warmup=1).bandwidth_mb_s
+    big_intra = measure_intra_node(Cluster(n_nodes=1), 131072, repeats=2,
+                                   warmup=1).bandwidth_mb_s
+    print(f"\npeak bandwidth: {big_inter:.1f} MB/s inter-node "
+          f"(paper {PAPER_INTER_BW}), {big_intra:.1f} MB/s intra-node "
+          f"(paper {PAPER_INTRA_BW})")
+
+
+if __name__ == "__main__":
+    main()

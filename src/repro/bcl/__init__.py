@@ -1,0 +1,39 @@
+"""BCL — the Basic Communication Library (the paper's core contribution).
+
+Public API lives in :mod:`repro.bcl.api`: a :class:`~repro.bcl.api.BclPort`
+per process, with ``send``/``post_recv``/``send_system``/``recv_system``
+rendezvous and system-channel messaging, RMA over open channels, and
+completion queues polled entirely in user space.
+
+The semi-user-level property: every operation that *initiates* a
+transfer or registers a buffer traps into the kernel (address
+translation, pin-down, security checks, PIO descriptor fill), while
+completion detection — the receive path — never leaves user space.
+"""
+
+from repro.bcl.address import BclAddress
+from repro.bcl.api import BclLibrary, BclPort
+from repro.firmware.descriptors import (
+    BclEvent,
+    BoundBuffer,
+    EventKind,
+    PoolBuffer,
+    RecvDescriptor,
+    SendRequest,
+)
+from repro.bcl.events import CompletionQueue
+from repro.firmware.packet import ChannelKind
+
+__all__ = [
+    "BclAddress",
+    "BclEvent",
+    "BclLibrary",
+    "BclPort",
+    "BoundBuffer",
+    "ChannelKind",
+    "CompletionQueue",
+    "EventKind",
+    "PoolBuffer",
+    "RecvDescriptor",
+    "SendRequest",
+]

@@ -1,0 +1,40 @@
+"""BCL process addressing.
+
+"The pair of node number and port number is the unique identifier of a
+process" (paper section 2.2); a send request additionally names the
+destination channel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.firmware.packet import ChannelKind
+
+__all__ = ["BclAddress"]
+
+
+@dataclass(frozen=True, order=True)
+class BclAddress:
+    """Destination of a BCL operation: node, port, channel."""
+
+    node: int
+    port: int
+    channel_kind: ChannelKind = ChannelKind.SYSTEM
+    channel_index: int = 0
+
+    def __post_init__(self) -> None:
+        if self.node < 0:
+            raise ValueError(f"negative node number {self.node}")
+        if self.port < 0:
+            raise ValueError(f"negative port number {self.port}")
+        if self.channel_index < 0:
+            raise ValueError(f"negative channel index {self.channel_index}")
+
+    @property
+    def process_id(self) -> tuple[int, int]:
+        """The (node, port) pair that uniquely identifies the process."""
+        return (self.node, self.port)
+
+    def with_channel(self, kind: ChannelKind, index: int = 0) -> "BclAddress":
+        return BclAddress(self.node, self.port, kind, index)

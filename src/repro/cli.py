@@ -1,0 +1,147 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``evaluate``   — regenerate the paper's tables/figures (+ ablations)
+* ``latency``    — one-way latency for a message size and architecture
+* ``bandwidth``  — bandwidth sweep over message sizes
+* ``timeline``   — the 0-byte stage timeline (Figure 7 view)
+* ``trace``      — run a traced message and dump a chrome://tracing JSON
+* ``report``     — run a short workload and print the cluster report
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.cluster import Cluster
+from repro.config import DAWNING_3000
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Semi-User-Level Communication Architecture "
+                    "(IPPS 2002) reproduction")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    ev = sub.add_parser("evaluate", help="regenerate the paper evaluation")
+    ev.add_argument("--no-ablations", action="store_true")
+    ev.add_argument("--no-extensions", action="store_true")
+
+    lat = sub.add_parser("latency", help="one-way latency measurement")
+    lat.add_argument("--bytes", type=int, default=0)
+    lat.add_argument("--architecture", default="semi_user",
+                     choices=["semi_user", "user_level", "kernel_level"])
+    lat.add_argument("--intra-node", action="store_true")
+    lat.add_argument("--repeats", type=int, default=3)
+
+    bw = sub.add_parser("bandwidth", help="bandwidth sweep")
+    bw.add_argument("--sizes", type=int, nargs="+",
+                    default=[1024, 4096, 16384, 65536, 131072])
+    bw.add_argument("--intra-node", action="store_true")
+
+    sub.add_parser("timeline", help="0-byte stage timeline (Figure 7)")
+
+    tr = sub.add_parser("trace", help="dump a chrome://tracing JSON")
+    tr.add_argument("--output", default="bcl_trace.json")
+    tr.add_argument("--bytes", type=int, default=4096)
+
+    rp = sub.add_parser("report", help="cluster utilisation report")
+    rp.add_argument("--bytes", type=int, default=65536)
+    rp.add_argument("--messages", type=int, default=8)
+    return parser
+
+
+def _cmd_evaluate(args) -> int:
+    from repro.experiments.runner import run_all
+    for result in run_all(include_ablations=not args.no_ablations,
+                          include_extensions=not args.no_extensions):
+        print(result.format())
+        print()
+    return 0
+
+
+def _cmd_latency(args) -> int:
+    from repro.experiments.common import (
+        measure_architecture_latency,
+        measure_kernel_level_latency,
+    )
+    from repro.instrument.measure import measure_intra_node
+
+    if args.intra_node:
+        sample = measure_intra_node(Cluster(n_nodes=1), args.bytes,
+                                    repeats=args.repeats)
+        value = sample.latency_us
+    elif args.architecture == "kernel_level":
+        value = measure_kernel_level_latency(args.bytes,
+                                             repeats=args.repeats)
+    else:
+        value = measure_architecture_latency(args.architecture, args.bytes,
+                                             repeats=args.repeats)
+    where = "intra-node" if args.intra_node else args.architecture
+    print(f"{args.bytes}-byte one-way latency ({where}): {value:.2f} us")
+    return 0
+
+
+def _cmd_bandwidth(args) -> int:
+    from repro.instrument.measure import measure_intra_node, measure_one_way
+    print(f"{'bytes':>9}  {'latency us':>11}  {'MB/s':>8}")
+    for nbytes in args.sizes:
+        if args.intra_node:
+            sample = measure_intra_node(Cluster(n_nodes=1), nbytes,
+                                        repeats=2, warmup=1)
+        else:
+            sample = measure_one_way(Cluster(n_nodes=2), nbytes,
+                                     repeats=2, warmup=1)
+        print(f"{nbytes:>9}  {sample.latency_us:>11.2f}  "
+              f"{sample.bandwidth_mb_s:>8.1f}")
+    return 0
+
+
+def _cmd_timeline(_args) -> int:
+    from repro.experiments.timelines import run_fig7
+    print(run_fig7().format())
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.instrument.export import write_chrome_trace
+    from repro.instrument.measure import measure_one_way
+    cluster = Cluster(n_nodes=2, trace=True)
+    measure_one_way(cluster, args.bytes, repeats=1, warmup=1)
+    count = write_chrome_trace(cluster.tracer, args.output)
+    print(f"wrote {count} trace events to {args.output} "
+          "(open in chrome://tracing or Perfetto)")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.instrument.measure import measure_one_way
+    from repro.instrument.report import cluster_report
+    cluster = Cluster(n_nodes=2)
+    measure_one_way(cluster, args.bytes, repeats=args.messages, warmup=1)
+    print(cluster_report(cluster).format())
+    return 0
+
+
+_COMMANDS = {
+    "evaluate": _cmd_evaluate,
+    "latency": _cmd_latency,
+    "bandwidth": _cmd_bandwidth,
+    "timeline": _cmd_timeline,
+    "trace": _cmd_trace,
+    "report": _cmd_report,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

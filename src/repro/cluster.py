@@ -1,0 +1,103 @@
+"""Composition root: build a complete simulated cluster.
+
+:class:`Cluster` assembles nodes (CPUs, memory, PCI, NIC), the network
+fabric, per-node kernels with the BCL kernel module, and the MCP
+firmware on every NIC — i.e. a ready-to-use DAWNING-3000-style machine.
+
+The ``architecture`` argument selects which protocol stack the NICs and
+kernels are configured for:
+
+* ``"semi_user"`` — the paper's BCL (default): physical-address
+  descriptors filled by the kernel, trap-free receive.
+* ``"user_level"`` — GM/VIA-style baseline: the NIC translates through
+  its TLB; the user library writes descriptors and doorbells directly
+  (see :mod:`repro.baselines.user_level`).
+* ``"kernel_level"`` — TCP-style baseline: traps on both sides plus
+  per-arrival interrupts (see :mod:`repro.baselines.kernel_level`).
+
+All three run on identical simulated hardware, like the paper's
+single-testbed comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.config import DAWNING_3000, CostModel
+from repro.firmware.mcp import Mcp
+from repro.firmware.packet import Packet
+from repro.hw.network import Network, build_network
+from repro.hw.node import Node, UserProcess
+from repro.kernel.kernel import Kernel
+from repro.kernel.module import BclKernelModule
+from repro.sim import Environment, Tracer
+
+__all__ = ["Cluster"]
+
+ARCHITECTURES = ("semi_user", "user_level", "kernel_level")
+
+
+class Cluster:
+    """A simulated SMP cluster running one communication architecture."""
+
+    def __init__(self, n_nodes: int = 2,
+                 cfg: CostModel = DAWNING_3000,
+                 architecture: str = "semi_user",
+                 topology: str = "single_switch",
+                 trace: bool = False,
+                 reliable: bool = True,
+                 fault_injector: Optional[Callable[[Packet],
+                                                   Optional[Packet]]] = None,
+                 env: Optional[Environment] = None):
+        if architecture not in ARCHITECTURES:
+            raise ValueError(
+                f"unknown architecture {architecture!r}; "
+                f"choose one of {ARCHITECTURES}")
+        cfg.validate()
+        self.cfg = cfg
+        self.architecture = architecture
+        self.env = env if env is not None else Environment()
+        self.tracer = Tracer(enabled=trace)
+        translation = "virtual" if architecture == "user_level" else "physical"
+        self.nodes: list[Node] = [
+            Node(self.env, cfg, node_id, self.tracer,
+                 nic_translation_mode=translation)
+            for node_id in range(n_nodes)
+        ]
+        self.network: Network = build_network(
+            self.env, cfg, n_nodes, topology, fault_injector)
+        self.mcps: list[Mcp] = []
+        for node in self.nodes:
+            node.nic.attach_network(self.network)
+            self.mcps.append(Mcp(self.env, cfg, node.nic, self.tracer,
+                                 reliable=reliable))
+            kernel = Kernel(self.env, cfg, node, n_nodes, self.tracer)
+            kernel.bcl_module = BclKernelModule(kernel, self.tracer)
+            node.kernel = kernel
+
+    # ------------------------------------------------------------- access
+    def node(self, node_id: int) -> Node:
+        return self.nodes[node_id]
+
+    def spawn(self, node_id: int, pid: Optional[int] = None,
+              cpu_index: Optional[int] = None) -> UserProcess:
+        """Spawn a user process on a node."""
+        return self.nodes[node_id].spawn_process(pid, cpu_index)
+
+    def run(self, until=None):
+        return self.env.run(until)
+
+    # ----------------------------------------------------------- telemetry
+    @property
+    def total_traps(self) -> int:
+        return sum(n.kernel.counters.traps for n in self.nodes)
+
+    @property
+    def total_interrupts(self) -> int:
+        return sum(n.kernel.counters.interrupts for n in self.nodes)
+
+    @property
+    def total_retransmissions(self) -> int:
+        return sum(s.retransmissions
+                   for mcp in self.mcps
+                   for s in mcp._senders.values())

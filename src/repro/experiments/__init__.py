@@ -1,0 +1,12 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Each module exposes ``run(...)`` returning an
+:class:`~repro.experiments.common.ExperimentResult` whose rows carry
+both the measured value and the paper's reported value, and whose
+``format()`` renders the table the paper printed.  ``runner.run_all()``
+regenerates the whole evaluation section (and EXPERIMENTS.md).
+"""
+
+from repro.experiments.common import ExperimentResult, PAPER
+
+__all__ = ["ExperimentResult", "PAPER"]

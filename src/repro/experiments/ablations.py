@@ -1,0 +1,288 @@
+"""Ablations of the design choices the paper argues for.
+
+Each ``run_*`` quantifies one claim from the paper's discussion:
+
+* **pin-down cache** — repeated sends from a warm buffer hit the
+  kernel pin-down table; a rotating working set larger than the table
+  thrashes it (pin/unpin on every send);
+* **PIO cost** — "filling sending request consumed more than half of
+  the time ... A good motherboard can improve the I/O performance
+  heavily": sweep the per-word PIO cost;
+* **CPU frequency** — "Host CPU frequency limits the parameter
+  checking and trap operation's overhead.  A faster CPU will reduce
+  these overheads": scale the host clock;
+* **NIC TLB** (the case *against* user-level translation) — a
+  user-level sender cycling through more buffers than the NIC TLB
+  holds pays the miss penalty per page, while BCL's kernel table
+  (host-sized) keeps hitting;
+* **shared-memory chunk size** — the intra-node pipelining granularity
+  behind the 391 MB/s figure;
+* **reliability** — what the 5.65 us of MCP protocol processing buys
+  and costs (the BIP trade-off).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.bcl.api import BclLibrary
+from repro.baselines.user_level import UserLevelLibrary
+from repro.cluster import Cluster
+from repro.config import DAWNING_3000, CostModel
+from repro.experiments.common import ExperimentResult
+from repro.firmware.packet import ChannelKind
+from repro.instrument.measure import measure_intra_node, measure_one_way
+from repro.sim import Store
+from repro.sim.time import ns_to_us
+
+__all__ = [
+    "run_pindown",
+    "run_pio",
+    "run_cpu_frequency",
+    "run_nic_tlb",
+    "run_shm_chunk",
+    "run_reliability",
+    "run_all",
+]
+
+
+def _rotating_send_latency(cfg: CostModel, architecture: str,
+                           n_buffers: int, buffer_bytes: int,
+                           rounds: int = 3) -> float:
+    """Mean one-way latency while the sender rotates over ``n_buffers``
+    distinct buffers (stressing whichever translation cache the
+    architecture uses)."""
+    cluster = Cluster(n_nodes=2, cfg=cfg, architecture=architecture)
+    env = cluster.env
+    lib_cls = UserLevelLibrary if architecture == "user_level" else BclLibrary
+    sync: Store = Store(env)
+    starts: list[int] = []
+    samples: list[float] = []
+    total = n_buffers * rounds
+
+    def receiver():
+        proc = cluster.spawn(1)
+        port = yield from lib_cls(proc).create_port()
+        buf = proc.alloc(buffer_bytes)
+        sync.try_put(("addr", port.address))
+        for i in range(total):
+            yield from port.post_recv(0, buf, buffer_bytes)
+            sync.try_put(("ready", i))
+            yield from port.wait_recv()
+            if i >= n_buffers:   # skip the first (cold) round
+                samples.append(ns_to_us(env.now - starts[i]))
+
+    def sender():
+        proc = cluster.spawn(0)
+        port = yield from lib_cls(proc).create_port()
+        _, address = yield sync.get()
+        dest = address.with_channel(ChannelKind.NORMAL, 0)
+        buffers = [proc.alloc(buffer_bytes) for _ in range(n_buffers)]
+        for buf in buffers:
+            proc.write(buf, b"a" * buffer_bytes)
+        for i in range(total):
+            yield sync.get()
+            starts.append(env.now)
+            yield from port.send(dest, buffers[i % n_buffers], buffer_bytes)
+            yield from port.wait_send()
+
+    done = env.process(receiver(), name="abl.recv")
+    env.process(sender(), name="abl.send")
+    env.run(until=done)
+    return sum(samples) / len(samples)
+
+
+def run_pindown(cfg: CostModel = DAWNING_3000) -> ExperimentResult:
+    small = cfg.replace(pindown_capacity_pages=64)
+    buffer_bytes = 32768   # 8 pages per buffer
+    result = ExperimentResult(
+        experiment_id="Ablation: pin-down table",
+        title="Kernel pin-down page table: hits vs thrashing (32 KB sends)",
+        columns=["scenario", "working_set_pages", "table_pages",
+                 "latency_us"],
+        notes="Thrashing adds pin+translate+insert (and an eviction "
+              "unpin) per page per send.")
+    for label, n_buffers in (("warm (1 buffer, hits)", 1),
+                             ("within capacity (4 buffers)", 4),
+                             ("thrashing (16 buffers)", 16),
+                             ("heavy thrashing (32 buffers)", 32)):
+        result.add(scenario=label, working_set_pages=n_buffers * 8,
+                   table_pages=64,
+                   latency_us=_rotating_send_latency(
+                       small, "semi_user", n_buffers, buffer_bytes))
+    return result
+
+
+def run_pio(cfg: CostModel = DAWNING_3000,
+            factors: Sequence[float] = (1.0, 0.5, 0.25)) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="Ablation: PIO cost",
+        title="PCI programmed-I/O word cost vs send overhead and latency",
+        columns=["pio_write_word_us", "oneway_0b_us", "descriptor_fill_us"],
+        notes='"A good motherboard can improve the I/O performance '
+              'heavily."')
+    for factor in factors:
+        varied = cfg.replace(pio_write_word_us=cfg.pio_write_word_us * factor,
+                             pio_read_word_us=cfg.pio_read_word_us * factor)
+        lat = measure_one_way(Cluster(n_nodes=2, cfg=varied), 0, repeats=2,
+                              warmup=1).latency_us
+        fill = varied.pio_write_us(varied.descriptor_base_words)
+        result.add(pio_write_word_us=varied.pio_write_word_us,
+                   oneway_0b_us=lat, descriptor_fill_us=fill)
+    return result
+
+
+def run_cpu_frequency(cfg: CostModel = DAWNING_3000,
+                      mhz: Sequence[float] = (375.0, 750.0, 1500.0)
+                      ) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="Ablation: CPU frequency",
+        title="Host CPU clock vs trap/check overheads and latency",
+        columns=["cpu_mhz", "oneway_0b_us", "intra_0b_us"],
+        notes='"A faster CPU will reduce these overheads."  PIO and '
+              'NIC/wire stages do not scale with the host clock.')
+    for clock in mhz:
+        varied = cfg.replace(cpu_mhz=clock)
+        inter = measure_one_way(Cluster(n_nodes=2, cfg=varied), 0,
+                                repeats=2, warmup=1).latency_us
+        intra = measure_intra_node(Cluster(n_nodes=1, cfg=varied), 0,
+                                   repeats=2, warmup=1).latency_us
+        result.add(cpu_mhz=clock, oneway_0b_us=inter, intra_0b_us=intra)
+    return result
+
+
+def run_nic_tlb(cfg: CostModel = DAWNING_3000) -> ExperimentResult:
+    """User-level translation collapses when the buffer working set
+    exceeds the NIC TLB; BCL's kernel table does not (the paper's
+    large-memory argument)."""
+    tiny_tlb = cfg.replace(nic_tlb_entries=8)
+    result = ExperimentResult(
+        experiment_id="Ablation: NIC address-translation cache",
+        title="NIC TLB thrashing (user-level) vs kernel translation (BCL)",
+        columns=["architecture", "working_set_buffers", "latency_us"],
+        notes="NIC TLB: 8 entries; kernel pin-down table: default "
+              f"({cfg.pindown_capacity_pages} pages).  One 4 KB page per "
+              "buffer.")
+    for n_buffers in (1, 4, 16, 32):
+        result.add(architecture="user_level",
+                   working_set_buffers=n_buffers,
+                   latency_us=_rotating_send_latency(tiny_tlb, "user_level",
+                                                     n_buffers, 4096))
+    for n_buffers in (1, 32):
+        result.add(architecture="semi_user",
+                   working_set_buffers=n_buffers,
+                   latency_us=_rotating_send_latency(tiny_tlb, "semi_user",
+                                                     n_buffers, 4096))
+    return result
+
+
+def run_shm_chunk(cfg: CostModel = DAWNING_3000,
+                  chunks: Sequence[int] = (1024, 4096, 8192, 16384, 32768)
+                  ) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="Ablation: shared-memory chunk size",
+        title="Intra-node pipelining granularity vs bandwidth",
+        columns=["chunk_bytes", "bandwidth_mb_s", "latency_0b_us"],
+        notes="Small chunks pay per-chunk setup; huge chunks lose "
+              "sender/receiver overlap (ring capacity).")
+    for chunk in chunks:
+        varied = cfg.replace(shm_chunk_bytes=chunk)
+        bw = measure_intra_node(Cluster(n_nodes=1, cfg=varied), 262144,
+                                repeats=2, warmup=1).bandwidth_mb_s
+        lat = measure_intra_node(Cluster(n_nodes=1, cfg=varied), 0,
+                                 repeats=2, warmup=1).latency_us
+        result.add(chunk_bytes=chunk, bandwidth_mb_s=bw, latency_0b_us=lat)
+    return result
+
+
+def run_reliability(cfg: CostModel = DAWNING_3000) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="Ablation: firmware reliability",
+        title="Cost of the MCP reliable protocol (the BIP trade-off)",
+        columns=["config", "oneway_0b_us", "bw_128k_mb_s"],
+        notes="reliable=False removes sequence/ack/retransmit processing "
+              "(BIP-style): lower latency, no loss protection.")
+    for label, reliable, varied in (
+            ("reliable (BCL)", True, cfg),
+            ("unreliable (BIP-style)", False,
+             cfg.replace(mcp_send_proc_us=1.20, mcp_recv_proc_us=1.10))):
+        lat = measure_one_way(
+            Cluster(n_nodes=2, cfg=varied, reliable=reliable), 0,
+            repeats=2, warmup=1).latency_us
+        bw = measure_one_way(
+            Cluster(n_nodes=2, cfg=varied, reliable=reliable), 131072,
+            repeats=2, warmup=1).bandwidth_mb_s
+        result.add(config=label, oneway_0b_us=lat, bw_128k_mb_s=bw)
+    return result
+
+
+def run_nack(cfg: CostModel = DAWNING_3000) -> ExperimentResult:
+    """Loss-recovery latency: NACK fast retransmit vs timeout-only.
+
+    One mid-message packet of a 5-packet transfer is dropped; the table
+    reports the end-to-end transfer time with and without the
+    receiver's NACK signalling (an extension beyond the paper, using
+    the NACK type its packet format reserves).
+    """
+    from repro.bcl.api import BclLibrary
+    from repro.firmware.packet import PacketType
+
+    result = ExperimentResult(
+        experiment_id="Ablation: NACK fast retransmit",
+        title="Recovery from a single packet loss (20 KB message)",
+        columns=["config", "transfer_us"],
+        notes="Timeout-only recovery waits out the full retransmission "
+              "timer; the NACK repairs the gap in round-trip time.")
+
+    class DropOnce:
+        def __init__(self):
+            self.dropped = False
+
+        def __call__(self, packet):
+            if (not self.dropped and packet.ptype is PacketType.DATA
+                    and packet.route and packet.seq == 1):
+                self.dropped = True
+                return None
+            return packet
+
+    for label, nack in (("NACK fast retransmit", True),
+                        ("timeout only", False)):
+        varied = cfg.replace(retransmit_timeout_us=5000.0,
+                             nack_enabled=nack)
+        cluster = Cluster(n_nodes=2, cfg=varied, fault_injector=DropOnce())
+        env = cluster.env
+        ready: Store = Store(env)
+        elapsed = {}
+        payload = b"n" * 20000
+
+        def receiver():
+            proc = cluster.spawn(1)
+            port = yield from BclLibrary(proc).create_port()
+            buf = proc.alloc(len(payload))
+            yield from port.post_recv(0, buf, len(payload))
+            ready.try_put(port.address)
+            yield from port.wait_recv()
+            elapsed["us"] = ns_to_us(env.now - elapsed["t0"])
+
+        def sender():
+            proc = cluster.spawn(0)
+            port = yield from BclLibrary(proc).create_port()
+            address = yield ready.get()
+            buf = proc.alloc(len(payload))
+            proc.write(buf, payload)
+            elapsed["t0"] = env.now
+            yield from port.send(
+                address.with_channel(ChannelKind.NORMAL, 0), buf,
+                len(payload))
+
+        done = env.process(receiver(), name="nack.recv")
+        env.process(sender(), name="nack.send")
+        env.run(until=done)
+        result.add(config=label, transfer_us=elapsed["us"])
+    return result
+
+
+def run_all(cfg: CostModel = DAWNING_3000) -> list[ExperimentResult]:
+    return [run_pindown(cfg), run_pio(cfg), run_cpu_frequency(cfg),
+            run_nic_tlb(cfg), run_shm_chunk(cfg), run_reliability(cfg),
+            run_nack(cfg)]

@@ -1,0 +1,222 @@
+"""Shared experiment machinery: paper reference values, measurement
+helpers for each architecture, and result formatting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.baselines.kernel_level import KernelSocketLibrary
+from repro.baselines.user_level import UserLevelLibrary
+from repro.bcl.api import BclLibrary
+from repro.cluster import Cluster
+from repro.config import DAWNING_3000, CostModel
+from repro.firmware.packet import ChannelKind
+from repro.instrument.measure import measure_intra_node, measure_one_way
+from repro.sim import Store
+from repro.sim.time import ns_to_us
+
+__all__ = [
+    "PAPER",
+    "ExperimentResult",
+    "measure_architecture_latency",
+    "measure_kernel_level_latency",
+    "measure_user_level_one_way",
+    "format_table",
+]
+
+#: Every number the paper reports in section 5, keyed for the
+#: per-experiment paper-vs-measured columns.
+PAPER: dict[str, Any] = {
+    "send_overhead_us": 7.04,
+    "send_complete_us": 0.82,
+    "recv_overhead_us": 1.01,
+    "oneway_0b_inter_us": 18.3,
+    "oneway_0b_intra_us": 2.7,
+    "peak_bw_inter_mb_s": 146.0,
+    "peak_bw_intra_mb_s": 391.0,
+    "wire_peak_mb_s": 160.0,
+    "bw_fraction_of_wire": 0.91,
+    "half_bandwidth_bytes": 4096,
+    "semi_user_extra_us": 4.17,
+    "semi_user_extra_fraction": 0.22,
+    "transfer_128k_us": 898.0,
+    "reliability_nic_us": 5.65,
+    "mpi_latency_intra_us": 6.3,
+    "mpi_latency_inter_us": 23.7,
+    "mpi_bw_intra_mb_s": 328.0,
+    "mpi_bw_inter_mb_s": 131.0,
+    "pvm_latency_intra_us": 6.5,
+    "pvm_latency_inter_us": 22.4,
+    "pvm_bw_intra_mb_s": 313.0,
+    "pvm_bw_inter_mb_s": 131.0,
+    # Table 2 (era-typical published figures for the comparators)
+    "gm_latency_us": (11.0, 21.0),
+    "gm_bw_mb_s": 140.0,
+    "pio_write_word_us": 0.24,
+    "pio_read_word_us": 0.98,
+}
+
+
+@dataclass
+class ExperimentResult:
+    """Rows + metadata for one regenerated table/figure."""
+
+    experiment_id: str
+    title: str
+    columns: list[str]
+    rows: list[dict[str, Any]] = field(default_factory=list)
+    notes: str = ""
+
+    def add(self, **row: Any) -> None:
+        self.rows.append(row)
+
+    def row(self, **match: Any) -> dict[str, Any]:
+        """First row whose fields match ``match`` (for assertions)."""
+        for row in self.rows:
+            if all(row.get(k) == v for k, v in match.items()):
+                return row
+        raise KeyError(f"no row matching {match!r}")
+
+    def format(self) -> str:
+        header = f"== {self.experiment_id}: {self.title} =="
+        body = format_table(self.columns, self.rows)
+        parts = [header, body]
+        if self.notes:
+            parts.append(self.notes)
+        return "\n".join(parts)
+
+
+def format_table(columns: list[str], rows: list[dict[str, Any]]) -> str:
+    def fmt(value: Any) -> str:
+        if isinstance(value, float):
+            return f"{value:.2f}"
+        if value is None:
+            return "-"
+        return str(value)
+
+    table = [[fmt(r.get(c)) for c in columns] for r in rows]
+    widths = [max(len(c), *(len(row[i]) for row in table)) if table
+              else len(c) for i, c in enumerate(columns)]
+    lines = ["  ".join(c.ljust(w) for c, w in zip(columns, widths)),
+             "  ".join("-" * w for w in widths)]
+    lines += ["  ".join(cell.ljust(w) for cell, w in zip(row, widths))
+              for row in table]
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------- measurers
+def measure_architecture_latency(architecture: str, nbytes: int = 0,
+                                 cfg: CostModel = DAWNING_3000,
+                                 repeats: int = 3, warmup: int = 2) -> float:
+    """0-copy one-way latency (us) for semi_user or user_level."""
+    cluster = Cluster(n_nodes=2, cfg=cfg, architecture=architecture)
+    if architecture == "user_level":
+        return measure_user_level_one_way(cluster, nbytes, repeats,
+                                          warmup).latency_us
+    return measure_one_way(cluster, nbytes, repeats, warmup).latency_us
+
+
+def measure_user_level_one_way(cluster: Cluster, nbytes: int,
+                               repeats: int = 3, warmup: int = 2):
+    """One-way latency through the user-level baseline library."""
+    from repro.instrument.measure import LatencySample, _pattern
+
+    env = cluster.env
+    total = warmup + repeats
+    result = LatencySample(nbytes)
+    posted: Store = Store(env)
+    start_times: list[int] = []
+    done = env.event()
+
+    def receiver():
+        proc = cluster.spawn(1)
+        port = yield from UserLevelLibrary(proc).create_port()
+        buf = proc.alloc(max(nbytes, 1))
+        posted.try_put(("addr", port.address))
+        for i in range(total):
+            yield from port.post_recv(0, buf, nbytes)
+            posted.try_put(("ready", i))
+            yield from port.wait_recv()
+            elapsed = ns_to_us(env.now - start_times[i])
+            if i >= warmup:
+                result.samples_us.append(elapsed)
+            if nbytes and proc.read(buf, nbytes) != _pattern(nbytes, i):
+                result.received_payloads_ok = False
+        done.succeed()
+
+    def sender():
+        proc = cluster.spawn(0)
+        port = yield from UserLevelLibrary(proc).create_port()
+        _, address = yield posted.get()
+        dest = address.with_channel(ChannelKind.NORMAL, 0)
+        buf = proc.alloc(max(nbytes, 1))
+        for i in range(total):
+            yield posted.get()
+            proc.write(buf, _pattern(nbytes, i))
+            start_times.append(env.now)
+            yield from port.send(dest, buf, nbytes)
+            yield from port.wait_send()
+
+    env.process(receiver(), name="ul.receiver")
+    env.process(sender(), name="ul.sender")
+    env.run(until=done)
+    return result
+
+
+def measure_kernel_level_latency(nbytes: int = 0,
+                                 cfg: CostModel = DAWNING_3000,
+                                 repeats: int = 3, warmup: int = 2) -> float:
+    """One-way datagram latency (us) through the kernel-level stack."""
+    sample = measure_kernel_level_one_way(nbytes, cfg, repeats, warmup)
+    return sample.latency_us
+
+
+def measure_kernel_level_one_way(nbytes: int = 0,
+                                 cfg: CostModel = DAWNING_3000,
+                                 repeats: int = 3, warmup: int = 2):
+    from repro.instrument.measure import LatencySample, _pattern
+
+    cluster = Cluster(n_nodes=2, cfg=cfg, architecture="kernel_level")
+    env = cluster.env
+    total = warmup + repeats
+    result = LatencySample(nbytes)
+    ready: Store = Store(env)
+    start_times: list[int] = []
+    done = env.event()
+
+    def receiver():
+        proc = cluster.spawn(1)
+        lib = KernelSocketLibrary(cluster.node(1))
+        sock = yield from lib.socket(proc, port=9000)
+        buf = proc.alloc(max(nbytes, cfg.kl_mtu))
+        ready.try_put("up")
+        for i in range(total):
+            received = 0
+            while True:
+                n, _src, _sp = yield from sock.recvfrom(buf, cfg.kl_mtu)
+                received += n
+                if received >= nbytes:
+                    break
+            elapsed = ns_to_us(env.now - start_times[i])
+            if i >= warmup:
+                result.samples_us.append(elapsed)
+            ready.try_put("next")
+        done.succeed()
+
+    def sender():
+        proc = cluster.spawn(0)
+        lib = KernelSocketLibrary(cluster.node(0))
+        sock = yield from lib.socket(proc, port=9001)
+        buf = proc.alloc(max(nbytes, 1))
+        yield ready.get()
+        for i in range(total):
+            proc.write(buf, _pattern(nbytes, i))
+            start_times.append(env.now)
+            yield from sock.sendto(1, 9000, buf, nbytes)
+            yield ready.get()
+
+    env.process(receiver(), name="kl.receiver")
+    env.process(sender(), name="kl.sender")
+    env.run(until=done)
+    return result

@@ -1,0 +1,87 @@
+"""Figures 8 and 9 — inter-node latency and bandwidth vs message size.
+
+The classic microbenchmark sweep: one-way latency T(n) over message
+sizes from 0 bytes to 128 KB; bandwidth is n/T(n), the unit convention
+the paper uses (its 146 MB/s is exactly 131072 B / 898 us).  Figure 8
+is the latency series, Figure 9 the bandwidth series with the peak and
+half-bandwidth point called out.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.cluster import Cluster
+from repro.config import DAWNING_3000, CostModel
+from repro.experiments.common import PAPER, ExperimentResult
+from repro.instrument.measure import measure_intra_node, measure_one_way
+
+__all__ = ["run_fig8", "run_fig9", "sweep", "DEFAULT_SIZES"]
+
+DEFAULT_SIZES = (0, 4, 64, 256, 1024, 4096, 16384, 65536, 131072)
+
+
+def sweep(sizes: Sequence[int] = DEFAULT_SIZES,
+          cfg: CostModel = DAWNING_3000,
+          intra_node: bool = False,
+          repeats: int = 2, warmup: int = 1) -> list:
+    """Fresh-cluster one-way measurements across sizes."""
+    samples = []
+    for nbytes in sizes:
+        if intra_node:
+            cluster = Cluster(n_nodes=1, cfg=cfg)
+            samples.append(measure_intra_node(cluster, nbytes, repeats,
+                                              warmup))
+        else:
+            cluster = Cluster(n_nodes=2, cfg=cfg)
+            samples.append(measure_one_way(cluster, nbytes, repeats, warmup))
+    return samples
+
+
+def run_fig8(sizes: Sequence[int] = DEFAULT_SIZES,
+             cfg: CostModel = DAWNING_3000) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="Figure 8",
+        title="Inter-node one-way latency of BCL vs message size",
+        columns=["bytes", "latency_us", "intra_latency_us"],
+        notes=f"Paper anchors: 0-byte inter-node "
+              f"{PAPER['oneway_0b_inter_us']} us, intra-node "
+              f"{PAPER['oneway_0b_intra_us']} us, 128 KB "
+              f"~{PAPER['transfer_128k_us']} us.")
+    inter = sweep(sizes, cfg, intra_node=False)
+    intra = sweep(sizes, cfg, intra_node=True)
+    for s_inter, s_intra in zip(inter, intra):
+        result.add(bytes=s_inter.nbytes, latency_us=s_inter.latency_us,
+                   intra_latency_us=s_intra.latency_us)
+    return result
+
+
+def run_fig9(sizes: Sequence[int] = DEFAULT_SIZES,
+             cfg: CostModel = DAWNING_3000) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="Figure 9",
+        title="Inter-node bandwidth of BCL vs message size",
+        columns=["bytes", "bandwidth_mb_s", "intra_bandwidth_mb_s"],
+        notes=f"Paper: peak {PAPER['peak_bw_inter_mb_s']} MB/s inter-node "
+              f"(~{PAPER['bw_fraction_of_wire']:.0%} of the "
+              f"{PAPER['wire_peak_mb_s']} MB/s wire), "
+              f"{PAPER['peak_bw_intra_mb_s']} MB/s intra-node, "
+              "half-bandwidth reached below 4 KB.")
+    inter = sweep(sizes, cfg, intra_node=False)
+    intra = sweep(sizes, cfg, intra_node=True)
+    peak = 0.0
+    half_at: Optional[int] = None
+    for s_inter, s_intra in zip(inter, intra):
+        bw = s_inter.bandwidth_mb_s if s_inter.nbytes else 0.0
+        bw_intra = s_intra.bandwidth_mb_s if s_intra.nbytes else 0.0
+        peak = max(peak, bw)
+        result.add(bytes=s_inter.nbytes, bandwidth_mb_s=bw,
+                   intra_bandwidth_mb_s=bw_intra)
+    for row in result.rows:
+        if row["bandwidth_mb_s"] >= peak / 2:
+            half_at = row["bytes"]
+            break
+    result.notes += (f"\nMeasured peak {peak:.1f} MB/s "
+                     f"({peak / cfg.wire_mb_s:.0%} of wire); "
+                     f"half-bandwidth first reached at {half_at} bytes.")
+    return result

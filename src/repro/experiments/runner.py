@@ -1,0 +1,52 @@
+"""Run the full evaluation: every table, figure and ablation.
+
+``python -m repro.experiments.runner`` regenerates the paper's
+evaluation section and prints paper-vs-measured for each entry (the
+source of EXPERIMENTS.md's numbers).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.config import DAWNING_3000, CostModel
+from repro.experiments import ablations, curves, extensions, overheads, \
+    table1, table2, table3, timelines
+
+__all__ = ["run_all", "main"]
+
+
+def run_all(cfg: CostModel = DAWNING_3000, include_ablations: bool = True,
+            include_extensions: bool = True):
+    """All experiment results, in paper order, then the extensions."""
+    results = [
+        table1.run(cfg),
+        timelines.run_fig5(cfg),
+        timelines.run_fig6(cfg),
+        timelines.run_fig7(cfg),
+        curves.run_fig8(cfg=cfg),
+        curves.run_fig9(cfg=cfg),
+        table2.run(cfg),
+        table3.run(cfg),
+        overheads.run(cfg),
+    ]
+    if include_ablations:
+        results.extend(ablations.run_all(cfg))
+    if include_extensions:
+        results.extend(extensions.run_all(cfg))
+    return results
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    include_ablations = "--no-ablations" not in argv
+    include_extensions = "--no-extensions" not in argv
+    for result in run_all(include_ablations=include_ablations,
+                          include_extensions=include_extensions):
+        print(result.format())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,159 @@
+"""Table 1 — comparison of the three communication architectures.
+
+The paper's table compares kernel-level, user-level and semi-user-level
+messaging by the number of OS trappings and interrupt-handling episodes
+on the critical path, and by where the NIC is accessed from.  We
+*count* these events with the kernel/interrupt instrumentation while
+one steady-state message crosses each stack (setup traps — port or
+socket creation — excluded, as the paper's "critical path" is the
+per-message path).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.kernel_level import KernelSocketLibrary
+from repro.baselines.user_level import UserLevelLibrary
+from repro.bcl.api import BclLibrary
+from repro.cluster import Cluster
+from repro.config import DAWNING_3000, CostModel
+from repro.experiments.common import ExperimentResult
+from repro.firmware.packet import ChannelKind
+from repro.sim import Store
+
+__all__ = ["run"]
+
+#: message size used for the counted crossing
+MESSAGE_BYTES = 64
+
+
+def _count_bcl_like(architecture: str, cfg: CostModel):
+    """Run one message over BCL or the user-level stack; return the
+    counter deltas accumulated strictly between send-start and
+    receive-completion."""
+    cluster = Cluster(n_nodes=2, cfg=cfg, architecture=architecture)
+    env = cluster.env
+    lib_cls = UserLevelLibrary if architecture == "user_level" else BclLibrary
+    sync: Store = Store(env)
+    out = {}
+
+    def snapshot():
+        return [node.kernel.counters.snapshot() for node in cluster.nodes]
+
+    def deltas(before):
+        return [node.kernel.counters.delta(b)
+                for node, b in zip(cluster.nodes, before)]
+
+    def receiver():
+        proc = cluster.spawn(1)
+        port = yield from lib_cls(proc).create_port()
+        buf = proc.alloc(MESSAGE_BYTES)
+        yield from port.post_recv(0, buf, MESSAGE_BYTES)
+        sync.try_put(port.address)
+        out["before"] = snapshot()
+        yield from port.wait_recv()
+        out["after"] = deltas(out["before"])
+
+    def sender():
+        proc = cluster.spawn(0)
+        port = yield from lib_cls(proc).create_port()
+        address = yield sync.get()
+        buf = proc.alloc(MESSAGE_BYTES)
+        proc.write(buf, b"x" * MESSAGE_BYTES)
+        dest = address.with_channel(ChannelKind.NORMAL, 0)
+        yield from port.send(dest, buf, MESSAGE_BYTES)
+
+    done = env.process(receiver(), name="t1.recv")
+    env.process(sender(), name="t1.send")
+    env.run(until=done)
+    return _merge(out["after"])
+
+
+def _count_kernel_level(cfg: CostModel):
+    cluster = Cluster(n_nodes=2, cfg=cfg, architecture="kernel_level")
+    env = cluster.env
+    sync: Store = Store(env)
+    out = {}
+
+    def receiver():
+        proc = cluster.spawn(1)
+        lib = KernelSocketLibrary(cluster.node(1))
+        sock = yield from lib.socket(proc, port=500)
+        buf = proc.alloc(MESSAGE_BYTES)
+        before = [n.kernel.counters.snapshot() for n in cluster.nodes]
+        sync.try_put("go")
+        yield from sock.recvfrom(buf, MESSAGE_BYTES)
+        out["after"] = [n.kernel.counters.delta(b)
+                        for n, b in zip(cluster.nodes, before)]
+
+    def sender():
+        proc = cluster.spawn(0)
+        lib = KernelSocketLibrary(cluster.node(0))
+        sock = yield from lib.socket(proc, port=501)
+        buf = proc.alloc(MESSAGE_BYTES)
+        proc.write(buf, b"x" * MESSAGE_BYTES)
+        yield sync.get()
+        yield from sock.sendto(1, 500, buf, MESSAGE_BYTES)
+
+    done = env.process(receiver(), name="t1.recv")
+    env.process(sender(), name="t1.send")
+    env.run(until=done)
+    return _merge(out["after"])
+
+
+def _merge(deltas):
+    """Combine the two nodes' counter deltas into one path summary."""
+    merged = {
+        "traps": sum(d.traps for d in deltas),
+        "traps_send": sum(d.traps_send_path for d in deltas),
+        "traps_recv": sum(d.traps_recv_path for d in deltas),
+        "interrupts": sum(d.interrupts for d in deltas),
+        "copies": sum(d.data_copies for d in deltas),
+    }
+    kernel = sum(d.nic_accesses_from_kernel for d in deltas)
+    user = sum(d.nic_accesses_from_user for d in deltas)
+    if kernel and user:
+        merged["nic_access"] = "kernel+user"
+    elif kernel:
+        merged["nic_access"] = "kernel"
+    elif user:
+        merged["nic_access"] = "user space"
+    else:
+        merged["nic_access"] = "none"
+    return merged
+
+
+def run(cfg: CostModel = DAWNING_3000) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="Table 1",
+        title="Comparison of three communication architectures "
+              "(counted on one message's critical path)",
+        columns=["architecture", "os_trappings", "send_traps", "recv_traps",
+                 "interrupts", "host_copies", "nic_accessed_from",
+                 "paper_trappings", "paper_interrupts", "paper_nic_access"],
+        notes="Counted by instrumentation while one 64-byte message "
+              "crosses each stack; port/socket setup excluded.")
+
+    kl = _count_kernel_level(cfg)
+    result.add(architecture="kernel-level", os_trappings=kl["traps"],
+               send_traps=kl["traps_send"], recv_traps=kl["traps_recv"],
+               interrupts=kl["interrupts"], host_copies=kl["copies"],
+               nic_accessed_from=kl["nic_access"],
+               paper_trappings=">=2", paper_interrupts=">=1",
+               paper_nic_access="kernel")
+
+    ul = _count_bcl_like("user_level", cfg)
+    result.add(architecture="user-level", os_trappings=ul["traps"],
+               send_traps=ul["traps_send"], recv_traps=ul["traps_recv"],
+               interrupts=ul["interrupts"], host_copies=ul["copies"],
+               nic_accessed_from=ul["nic_access"],
+               paper_trappings="0", paper_interrupts="0",
+               paper_nic_access="user space")
+
+    su = _count_bcl_like("semi_user", cfg)
+    result.add(architecture="semi-user-level", os_trappings=su["traps"],
+               send_traps=su["traps_send"], recv_traps=su["traps_recv"],
+               interrupts=su["interrupts"], host_copies=su["copies"],
+               nic_accessed_from=su["nic_access"],
+               paper_trappings="1 (send only)", paper_interrupts="0",
+               paper_nic_access="kernel")
+    return result

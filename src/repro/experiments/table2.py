@@ -1,0 +1,85 @@
+"""Table 2 — comparison of communication protocols on the same wire.
+
+BCL vs GM vs AM-II vs BIP, re-derived from the simulated stacks (see
+:mod:`repro.baselines.models` for what each preset means).  The paper's
+qualitative claims this table must reproduce:
+
+* BCL's bandwidth ~matches GM's (both reliable firmware protocols);
+* BCL's latency beats AM-II's ("BCL has a better latency in both
+  intra-node and inter-node communication");
+* BIP has "a very low latency" (no flow control / error correction)
+  but "its bandwidth is lower than that of BCL";
+* only BCL has the SMP intra-node row ("GM doesn't provide special
+  support for SMP").
+"""
+
+from __future__ import annotations
+
+from repro.baselines.models import ProtocolPreset, table2_presets
+from repro.config import DAWNING_3000, CostModel
+from repro.experiments.common import (
+    ExperimentResult,
+    measure_user_level_one_way,
+)
+from repro.instrument.measure import measure_intra_node, measure_one_way
+
+__all__ = ["run"]
+
+BANDWIDTH_BYTES = 131072
+
+
+def _measure(preset: ProtocolPreset) -> dict:
+    """Latency (0 B) and bandwidth (128 KB) for one preset."""
+    if preset.library == "bcl":
+        lat = measure_one_way(preset.make_cluster(), 0, repeats=2,
+                              warmup=1).latency_us
+        big = measure_one_way(preset.make_cluster(), BANDWIDTH_BYTES,
+                              repeats=2, warmup=1)
+    else:
+        lat = measure_user_level_one_way(preset.make_cluster(), 0,
+                                         repeats=2, warmup=1).latency_us
+        big = measure_user_level_one_way(preset.make_cluster(),
+                                         BANDWIDTH_BYTES, repeats=2,
+                                         warmup=1)
+    lat += preset.latency_adjust_us
+    transfer_us = big.latency_us
+    if preset.extra_copy_mb_s:
+        # AM-II's extra receive-side copy, applied analytically.
+        transfer_us += BANDWIDTH_BYTES / preset.extra_copy_mb_s
+        lat_copy = 0.0  # a 0-byte message copies nothing
+        lat += lat_copy
+    row = {"inter_latency_us": lat,
+           "inter_bandwidth_mb_s": BANDWIDTH_BYTES / transfer_us}
+    if preset.smp_support:
+        intra_cluster = preset.make_cluster.__call__()
+        # intra runs need a 1-node cluster of the same calibration
+        from repro.cluster import Cluster
+        intra_cluster = Cluster(n_nodes=1, cfg=intra_cluster.cfg,
+                                architecture=intra_cluster.architecture)
+        row["intra_latency_us"] = measure_intra_node(
+            intra_cluster, 0, repeats=2, warmup=1).latency_us
+        intra_cluster = Cluster(n_nodes=1, cfg=intra_cluster.cfg,
+                                architecture=intra_cluster.architecture)
+        row["intra_bandwidth_mb_s"] = measure_intra_node(
+            intra_cluster, BANDWIDTH_BYTES, repeats=2,
+            warmup=1).bandwidth_mb_s
+    else:
+        row["intra_latency_us"] = None
+        row["intra_bandwidth_mb_s"] = None
+    return row
+
+
+def run(cfg: CostModel = DAWNING_3000) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="Table 2",
+        title="Comparison of different communication protocols",
+        columns=["protocol", "intra_latency_us", "inter_latency_us",
+                 "intra_bandwidth_mb_s", "inter_bandwidth_mb_s", "notes"],
+        notes="Paper-era published figures for comparison: GM 11-21 us / "
+              ">140 MB/s; BIP very low latency, bandwidth below BCL's; "
+              "AM-II latency above BCL's, bandwidth not comparable "
+              "(extra copy).  BCL paper row: 2.7/18.3 us, 391/146 MB/s.")
+    for preset in table2_presets(cfg):
+        row = _measure(preset)
+        result.add(protocol=preset.name, notes=preset.notes, **row)
+    return result

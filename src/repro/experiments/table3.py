@@ -1,0 +1,108 @@
+"""Table 3 — performance of BCL and MPI/PVM over BCL.
+
+Latency is ping-pong RTT/2 at 0 bytes (the convention for the MPI
+rows); bandwidth is n/T(n) at 256 KB one-way through the layered stack.
+The BCL rows reuse the raw measurements from Figures 8/9.
+"""
+
+from __future__ import annotations
+
+from repro.cluster import Cluster
+from repro.config import DAWNING_3000, CostModel
+from repro.experiments.common import PAPER, ExperimentResult
+from repro.instrument.measure import measure_intra_node, measure_one_way
+from repro.sim.time import ns_to_us
+from repro.upper.job import run_spmd
+
+__all__ = ["run", "layer_pingpong_half_rtt_us", "layer_bandwidth_mb_s"]
+
+BANDWIDTH_BYTES = 262144
+
+
+def layer_pingpong_half_rtt_us(layer: str, intra: bool,
+                               cfg: CostModel = DAWNING_3000,
+                               nbytes: int = 0, repeats: int = 3,
+                               warmup: int = 2) -> float:
+    """0-byte ping-pong half round-trip through MPI or PVM."""
+    cluster = Cluster(n_nodes=1 if intra else 2, cfg=cfg)
+    placement = [0, 0] if intra else None
+    samples: list[float] = []
+
+    def fn(ep):
+        env = ep.port.env
+        proc = ep.proc
+        buf = proc.alloc(max(nbytes, 1))
+        for i in range(repeats + warmup):
+            if ep.rank == 0:
+                if nbytes:
+                    proc.write(buf, bytes([i % 251]) * nbytes)
+                t0 = env.now
+                yield from ep.eadi.send(1, buf, nbytes, tag=i)
+                yield from ep.eadi.recv(1, i, buf, max(nbytes, 1))
+                if i >= warmup:
+                    samples.append(ns_to_us(env.now - t0) / 2)
+            else:
+                yield from ep.eadi.recv(0, i, buf, max(nbytes, 1))
+                yield from ep.eadi.send(0, buf, nbytes, tag=i)
+
+    run_spmd(cluster, 2, fn, layer=layer, placement=placement)
+    return sum(samples) / len(samples)
+
+
+def layer_bandwidth_mb_s(layer: str, intra: bool,
+                         cfg: CostModel = DAWNING_3000,
+                         nbytes: int = BANDWIDTH_BYTES) -> float:
+    """One-way bandwidth through MPI or PVM at ``nbytes``."""
+    half_rtt = layer_pingpong_half_rtt_us(layer, intra, cfg, nbytes,
+                                          repeats=2, warmup=1)
+    return nbytes / half_rtt
+
+
+def run(cfg: CostModel = DAWNING_3000) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="Table 3",
+        title="Performance of BCL and MPI/PVM over BCL",
+        columns=["layer", "intra_latency_us", "inter_latency_us",
+                 "intra_bandwidth_mb_s", "inter_bandwidth_mb_s",
+                 "paper_latency", "paper_bandwidth"])
+
+    bcl_intra_lat = measure_intra_node(Cluster(n_nodes=1, cfg=cfg), 0,
+                                       repeats=3, warmup=2).latency_us
+    bcl_inter_lat = measure_one_way(Cluster(n_nodes=2, cfg=cfg), 0,
+                                    repeats=3, warmup=2).latency_us
+    bcl_intra_bw = measure_intra_node(Cluster(n_nodes=1, cfg=cfg),
+                                      131072, repeats=2,
+                                      warmup=1).bandwidth_mb_s
+    bcl_inter_bw = measure_one_way(Cluster(n_nodes=2, cfg=cfg),
+                                   131072, repeats=2,
+                                   warmup=1).bandwidth_mb_s
+    result.add(layer="BCL",
+               intra_latency_us=bcl_intra_lat,
+               inter_latency_us=bcl_inter_lat,
+               intra_bandwidth_mb_s=bcl_intra_bw,
+               inter_bandwidth_mb_s=bcl_inter_bw,
+               paper_latency=f"{PAPER['oneway_0b_intra_us']}/"
+                             f"{PAPER['oneway_0b_inter_us']} us",
+               paper_bandwidth=f"{PAPER['peak_bw_intra_mb_s']:.0f}/"
+                               f"{PAPER['peak_bw_inter_mb_s']:.0f} MB/s")
+
+    for layer, pl_intra, pl_inter, pb_intra, pb_inter in (
+            ("MPI", PAPER["mpi_latency_intra_us"],
+             PAPER["mpi_latency_inter_us"], PAPER["mpi_bw_intra_mb_s"],
+             PAPER["mpi_bw_inter_mb_s"]),
+            ("PVM", PAPER["pvm_latency_intra_us"],
+             PAPER["pvm_latency_inter_us"], PAPER["pvm_bw_intra_mb_s"],
+             PAPER["pvm_bw_inter_mb_s"])):
+        name = layer.lower()
+        result.add(layer=f"{layer} over BCL",
+                   intra_latency_us=layer_pingpong_half_rtt_us(name, True,
+                                                               cfg),
+                   inter_latency_us=layer_pingpong_half_rtt_us(name, False,
+                                                               cfg),
+                   intra_bandwidth_mb_s=layer_bandwidth_mb_s(name, True,
+                                                             cfg),
+                   inter_bandwidth_mb_s=layer_bandwidth_mb_s(name, False,
+                                                             cfg),
+                   paper_latency=f"{pl_intra}/{pl_inter} us",
+                   paper_bandwidth=f"{pb_intra:.0f}/{pb_inter:.0f} MB/s")
+    return result

@@ -1,0 +1,33 @@
+"""Hardware substrate: memory, CPUs, PCI, NICs, links, switches, nodes.
+
+Everything here moves *real bytes* through the simulation — payloads
+live in :class:`~repro.hw.memory.PhysicalMemory`, DMA engines copy them
+into NIC staging buffers, packets carry them across links — so the test
+suite can assert end-to-end payload integrity, CRC protection, and
+scatter/gather correctness rather than only timing.
+"""
+
+from repro.hw.cpu import Cpu
+from repro.hw.memory import FrameAllocator, OutOfMemoryError, PhysicalMemory
+from repro.hw.pci import PciBus
+from repro.hw.link import Link, LinkEndpoint
+from repro.hw.switch import Switch
+from repro.hw.network import Network, build_network
+from repro.hw.nic import Nic
+from repro.hw.node import Node, UserProcess
+
+__all__ = [
+    "Cpu",
+    "FrameAllocator",
+    "Link",
+    "LinkEndpoint",
+    "Network",
+    "Nic",
+    "Node",
+    "OutOfMemoryError",
+    "PciBus",
+    "PhysicalMemory",
+    "Switch",
+    "UserProcess",
+    "build_network",
+]

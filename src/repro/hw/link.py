@@ -1,0 +1,113 @@
+"""Full-duplex network links with cut-through forwarding semantics.
+
+Latency model (faithful to wormhole/cut-through routing): a packet
+crossing a link experiences only the propagation delay — serialization
+is paid once, at the source NIC's wire-injection engine.  Occupancy
+model: each link direction can still only carry one packet's worth of
+bytes per serialization window, so the pump process holds the direction
+for ``wire_bytes / wire_rate`` before accepting the next packet.  That
+makes shared links a throughput bottleneck under congestion without
+re-charging serialization latency at every hop.
+
+Backpressure: each direction has a small bounded inbox; when a
+downstream link is saturated the upstream sender's ``send`` blocks,
+which is the discrete analogue of wormhole flow control.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, Optional
+
+from repro.config import CostModel
+from repro.firmware.packet import Packet
+from repro.sim import Environment, Store, us
+from repro.sim.time import transfer_time_ns
+
+__all__ = ["Link", "LinkEndpoint"]
+
+#: Packets a direction may buffer before senders block (wormhole slack).
+INBOX_CAPACITY = 4
+
+
+class LinkEndpoint:
+    """One end of a link.  Owners attach a receive callback."""
+
+    def __init__(self, link: "Link", label: str):
+        self.link = link
+        self.label = label
+        self._on_receive: Optional[Callable[["LinkEndpoint", Packet], None]] = None
+        self.peer: Optional["LinkEndpoint"] = None
+
+    def attach(self, on_receive: Callable[["LinkEndpoint", Packet], None]) -> None:
+        """Register the packet-arrival callback (NIC or switch port)."""
+        if self._on_receive is not None:
+            raise RuntimeError(f"endpoint {self.label} already attached")
+        self._on_receive = on_receive
+
+    def send(self, packet: Packet):
+        """Transmit toward the peer endpoint; may block on backpressure.
+
+        Returns the store-put event; yield it to respect flow control.
+        """
+        return self.link._enqueue(self, packet)
+
+    def _deliver(self, packet: Packet) -> None:
+        if self._on_receive is None:
+            raise RuntimeError(
+                f"packet arrived at unattached endpoint {self.label}")
+        self._on_receive(self, packet)
+
+
+class Link:
+    """A bidirectional link: two independent directed channels."""
+
+    def __init__(self, env: Environment, cfg: CostModel, name: str,
+                 fault_injector: Optional[Callable[[Packet], Packet]] = None):
+        self.env = env
+        self.cfg = cfg
+        self.name = name
+        #: Optional hook: maps a packet to a (possibly corrupted) packet,
+        #: or None to drop it.  Used by the reliability tests.
+        self.fault_injector = fault_injector
+        self.a = LinkEndpoint(self, f"{name}.a")
+        self.b = LinkEndpoint(self, f"{name}.b")
+        self.a.peer, self.b.peer = self.b, self.a
+        self._inboxes = {self.a: Store(env, capacity=INBOX_CAPACITY),
+                         self.b: Store(env, capacity=INBOX_CAPACITY)}
+        self.busy_ns = {self.a: 0, self.b: 0}  # per-direction occupancy
+        self.packets_carried = 0
+        self.packets_dropped = 0
+        env.process(self._pump(self.a), name=f"{name}.pump.a_to_b")
+        env.process(self._pump(self.b), name=f"{name}.pump.b_to_a")
+
+    def _enqueue(self, src: LinkEndpoint, packet: Packet):
+        if src not in self._inboxes:
+            raise ValueError(f"{src.label} is not an endpoint of {self.name}")
+        return self._inboxes[src].put(packet)
+
+    def _pump(self, src: LinkEndpoint) -> Generator:
+        """Drain one direction: deliver after propagation, hold for
+        the serialization window."""
+        inbox = self._inboxes[src]
+        dst = src.peer
+        prop = us(self.cfg.link_propagation_us)
+        while True:
+            packet: Packet = yield inbox.get()
+            if self.fault_injector is not None:
+                packet = self.fault_injector(packet)
+                if packet is None:
+                    self.packets_dropped += 1
+                    continue
+            serialization = transfer_time_ns(
+                packet.wire_bytes(self.cfg.wire_header_bytes),
+                self.cfg.wire_mb_s)
+            self.env.process(self._deliver_after(dst, packet, prop),
+                             name=f"{self.name}.deliver")
+            self.busy_ns[src] += serialization
+            self.packets_carried += 1
+            yield self.env.timeout(serialization)
+
+    def _deliver_after(self, dst: LinkEndpoint, packet: Packet,
+                       delay: int) -> Generator:
+        yield self.env.timeout(delay)
+        dst._deliver(packet)

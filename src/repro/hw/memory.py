@@ -1,0 +1,113 @@
+"""Host physical memory: a flat byte store plus a page-frame allocator.
+
+The DAWNING-3000 nodes carry "large capacity of memory"; the paper's
+whole argument for kernel-side address translation is that NIC-resident
+translation caches stop scaling there.  We therefore model memory
+page-accurately: virtual address spaces (:mod:`repro.kernel.vm`) map
+onto page frames handed out by :class:`FrameAllocator`, and DMA works
+on *physical* segment lists exactly as the BCL kernel module produces
+them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+__all__ = ["PhysicalMemory", "FrameAllocator", "OutOfMemoryError"]
+
+
+class OutOfMemoryError(MemoryError):
+    """No free page frames left."""
+
+
+class PhysicalMemory:
+    """Byte-addressable physical memory backed by one ``bytearray``."""
+
+    def __init__(self, size: int, page_size: int = 4096):
+        if size <= 0 or size % page_size:
+            raise ValueError(
+                f"memory size {size} must be a positive multiple of the "
+                f"page size {page_size}")
+        self.size = size
+        self.page_size = page_size
+        self._data = bytearray(size)
+
+    def read(self, paddr: int, length: int) -> bytes:
+        self._check(paddr, length)
+        return bytes(self._data[paddr:paddr + length])
+
+    def write(self, paddr: int, data: bytes) -> None:
+        self._check(paddr, len(data))
+        self._data[paddr:paddr + len(data)] = data
+
+    def read_gather(self, segments: Iterable[tuple[int, int]]) -> bytes:
+        """Read a physical scatter/gather list into one buffer."""
+        return b"".join(self.read(paddr, length) for paddr, length in segments)
+
+    def write_scatter(self, segments: Iterable[tuple[int, int]],
+                      data: bytes) -> None:
+        """Write ``data`` across a physical scatter/gather list."""
+        offset = 0
+        for paddr, length in segments:
+            self.write(paddr, data[offset:offset + length])
+            offset += length
+        if offset != len(data):
+            raise ValueError(
+                f"scatter list covers {offset} bytes, data has {len(data)}")
+
+    def _check(self, paddr: int, length: int) -> None:
+        if paddr < 0 or length < 0 or paddr + length > self.size:
+            raise ValueError(
+                f"physical access [{paddr}, {paddr + length}) outside "
+                f"memory of size {self.size}")
+
+
+class FrameAllocator:
+    """Hands out page frames of a :class:`PhysicalMemory`.
+
+    Frames are recycled lowest-index-first so allocation is
+    deterministic; double-free is an error because it would silently
+    alias two virtual pages onto one frame.
+    """
+
+    def __init__(self, memory: PhysicalMemory):
+        self.memory = memory
+        self.page_size = memory.page_size
+        self.n_frames = memory.size // memory.page_size
+        self._free: list[int] = list(range(self.n_frames - 1, -1, -1))
+        self._allocated: set[int] = set()
+
+    @property
+    def free_frames(self) -> int:
+        return len(self._free)
+
+    def alloc(self) -> int:
+        """Allocate one frame; returns the frame number."""
+        if not self._free:
+            raise OutOfMemoryError(
+                f"all {self.n_frames} page frames are allocated")
+        frame = self._free.pop()
+        self._allocated.add(frame)
+        return frame
+
+    def alloc_many(self, count: int) -> list[int]:
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        if count > len(self._free):
+            raise OutOfMemoryError(
+                f"requested {count} frames, only {len(self._free)} free")
+        return [self.alloc() for _ in range(count)]
+
+    def free(self, frame: int) -> None:
+        if frame not in self._allocated:
+            raise ValueError(f"frame {frame} is not allocated")
+        self._allocated.remove(frame)
+        self._free.append(frame)
+        # Keep the free list sorted descending so .pop() returns the
+        # lowest frame; makes layouts reproducible across runs.
+        self._free.sort(reverse=True)
+
+    def frame_paddr(self, frame: int) -> int:
+        if not 0 <= frame < self.n_frames:
+            raise ValueError(f"frame {frame} out of range")
+        return frame * self.page_size

@@ -1,0 +1,225 @@
+"""Topology construction and source-route computation.
+
+DAWNING-3000's system area network is either Myrinet (8-port switches)
+or the custom nwrc 2-D mesh; both are source-routed cut-through
+fabrics.  :func:`build_network` assembles NIC-facing link endpoints,
+switches and inter-switch links for several topologies and precomputes
+the source route (sequence of switch output ports) for every ordered
+node pair, using :mod:`networkx` shortest paths over the fabric graph.
+
+Topologies:
+
+* ``single_switch`` — all nodes on one crossbar (grown to the needed
+  radix); the calibration topology, 2 links + 1 switch per path.
+* ``switch_tree`` — 8-port leaf switches (7 hosts + 1 uplink) under a
+  root switch, like a small DAWNING Myrinet installation.
+* ``mesh2d`` — a 2-D grid of 5-port routing chips (N/S/E/W/host) with
+  XY dimension-order routing, standing in for the nwrc mesh.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Optional
+
+import networkx as nx
+
+from repro.config import CostModel
+from repro.firmware.packet import Packet
+from repro.hw.link import Link, LinkEndpoint
+from repro.hw.switch import Switch
+from repro.sim import Environment
+
+__all__ = ["Network", "build_network"]
+
+FaultInjector = Callable[[Packet], Optional[Packet]]
+
+
+class Network:
+    """A built fabric: per-node attach endpoints plus a route table."""
+
+    def __init__(self, env: Environment, cfg: CostModel, n_nodes: int,
+                 topology: str):
+        self.env = env
+        self.cfg = cfg
+        self.n_nodes = n_nodes
+        self.topology = topology
+        self.switches: list[Switch] = []
+        self.links: list[Link] = []
+        #: endpoint the node's NIC transmits/receives on, per node id
+        self.nic_endpoints: dict[int, LinkEndpoint] = {}
+        self._routes: dict[tuple[int, int], tuple[int, ...]] = {}
+        self.graph = nx.Graph()
+
+    def route(self, src: int, dst: int) -> tuple[int, ...]:
+        """Source route (switch output ports) from node src to node dst."""
+        if src == dst:
+            raise ValueError(f"no network route from node {src} to itself")
+        try:
+            return self._routes[(src, dst)]
+        except KeyError:
+            raise ValueError(f"no route from node {src} to node {dst}") from None
+
+    def hops(self, src: int, dst: int) -> int:
+        """Number of switches on the path."""
+        return len(self.route(src, dst))
+
+    # -- construction helpers (used by build_network) -------------------
+    def _add_link(self, name: str,
+                  fault_injector: Optional[FaultInjector] = None) -> Link:
+        link = Link(self.env, self.cfg, name, fault_injector)
+        self.links.append(link)
+        return link
+
+    def _add_switch(self, name: str, n_ports: int) -> Switch:
+        sw = Switch(self.env, self.cfg, name, n_ports)
+        self.switches.append(sw)
+        return sw
+
+    def _compute_routes_from_graph(
+            self, port_of: dict[tuple[str, int], dict[tuple[str, int], int]]
+    ) -> None:
+        """Fill the route table from ``self.graph`` shortest paths.
+
+        ``port_of[switch_vertex][neighbor_vertex]`` is the switch port
+        facing that neighbor.
+        """
+        for src in range(self.n_nodes):
+            paths = nx.single_source_shortest_path(self.graph, ("host", src))
+            for dst in range(self.n_nodes):
+                if dst == src:
+                    continue
+                path = paths.get(("host", dst))
+                if path is None:
+                    raise ValueError(
+                        f"topology {self.topology!r} leaves node {dst} "
+                        f"unreachable from node {src}")
+                ports = []
+                for i in range(1, len(path) - 1):
+                    vertex = path[i]
+                    ports.append(port_of[vertex][path[i + 1]])
+                self._routes[(src, dst)] = tuple(ports)
+
+
+def build_network(env: Environment, cfg: CostModel, n_nodes: int,
+                  topology: str = "single_switch",
+                  fault_injector: Optional[FaultInjector] = None) -> Network:
+    """Build a fabric for ``n_nodes`` nodes.
+
+    ``fault_injector``, if given, is installed on every link (packet ->
+    packet | corrupted packet | None-to-drop); the reliability tests use
+    it to exercise retransmission.
+    """
+    if n_nodes < 1:
+        raise ValueError(f"n_nodes must be >= 1, got {n_nodes}")
+    net = Network(env, cfg, n_nodes, topology)
+    if topology == "single_switch":
+        _build_single_switch(net, fault_injector)
+    elif topology == "switch_tree":
+        _build_switch_tree(net, fault_injector)
+    elif topology == "mesh2d":
+        _build_mesh2d(net, fault_injector)
+    else:
+        raise ValueError(f"unknown topology {topology!r}")
+    return net
+
+
+def _host_link(net: Network, node: int, sw: Switch, port: int,
+               fault_injector: Optional[FaultInjector]) -> None:
+    link = net._add_link(f"link.h{node}-{sw.name}p{port}", fault_injector)
+    net.nic_endpoints[node] = link.a
+    sw.connect(port, link.b)
+    net.graph.add_edge(("host", node), ("sw", sw.name))
+
+
+def _switch_link(net: Network, sw_a: Switch, port_a: int, sw_b: Switch,
+                 port_b: int, fault_injector: Optional[FaultInjector],
+                 port_of: dict) -> None:
+    link = net._add_link(f"link.{sw_a.name}p{port_a}-{sw_b.name}p{port_b}",
+                         fault_injector)
+    sw_a.connect(port_a, link.a)
+    sw_b.connect(port_b, link.b)
+    net.graph.add_edge(("sw", sw_a.name), ("sw", sw_b.name))
+    port_of[("sw", sw_a.name)][("sw", sw_b.name)] = port_a
+    port_of[("sw", sw_b.name)][("sw", sw_a.name)] = port_b
+
+
+def _build_single_switch(net: Network,
+                         fault_injector: Optional[FaultInjector]) -> None:
+    n = net.n_nodes
+    sw = net._add_switch("sw0", n_ports=max(2, n))
+    port_of: dict = {("sw", "sw0"): {}}
+    for node in range(n):
+        _host_link(net, node, sw, node, fault_injector)
+        port_of[("sw", "sw0")][("host", node)] = node
+    net._compute_routes_from_graph(port_of)
+
+
+def _build_switch_tree(net: Network,
+                       fault_injector: Optional[FaultInjector]) -> None:
+    """8-port leaves (7 hosts + uplink on port 7) under one root."""
+    n = net.n_nodes
+    hosts_per_leaf = 7
+    n_leaves = max(1, math.ceil(n / hosts_per_leaf))
+    root = net._add_switch("root", n_ports=max(2, n_leaves))
+    port_of: dict = {("sw", "root"): {}}
+    for leaf_idx in range(n_leaves):
+        leaf = net._add_switch(f"leaf{leaf_idx}", n_ports=8)
+        port_of[("sw", leaf.name)] = {}
+        _switch_link(net, leaf, hosts_per_leaf, root, leaf_idx,
+                     fault_injector, port_of)
+        for local in range(hosts_per_leaf):
+            node = leaf_idx * hosts_per_leaf + local
+            if node >= n:
+                break
+            _host_link(net, node, leaf, local, fault_injector)
+            port_of[("sw", leaf.name)][("host", node)] = local
+    net._compute_routes_from_graph(port_of)
+
+
+def _build_mesh2d(net: Network,
+                  fault_injector: Optional[FaultInjector]) -> None:
+    """Square-ish 2-D mesh of 5-port routers (ports: 0=N 1=S 2=E 3=W 4=host).
+
+    Routes use XY dimension-order routing, computed here directly (it is
+    also the shortest path on the grid, but DOR fixes *which* shortest
+    path, as the nwrc1032 wormhole chip does, so we bypass networkx).
+    """
+    n = net.n_nodes
+    cols = max(1, math.ceil(math.sqrt(n)))
+    rows = max(1, math.ceil(n / cols))
+    N_, S_, E_, W_, H_ = 0, 1, 2, 3, 4
+    routers: dict[tuple[int, int], Switch] = {}
+    for r in range(rows):
+        for c in range(cols):
+            routers[(r, c)] = net._add_switch(f"mesh{r}_{c}", n_ports=5)
+    port_of: dict = {("sw", sw.name): {} for sw in routers.values()}
+    for (r, c), sw in routers.items():
+        if c + 1 < cols:
+            _switch_link(net, sw, E_, routers[(r, c + 1)], W_,
+                         fault_injector, port_of)
+        if r + 1 < rows:
+            _switch_link(net, sw, S_, routers[(r + 1, c)], N_,
+                         fault_injector, port_of)
+    coords: dict[int, tuple[int, int]] = {}
+    for node in range(n):
+        r, c = divmod(node, cols)
+        coords[node] = (r, c)
+        _host_link(net, node, routers[(r, c)], H_, fault_injector)
+        port_of[("sw", routers[(r, c)].name)][("host", node)] = H_
+    for src in range(n):
+        for dst in range(n):
+            if src == dst:
+                continue
+            (r0, c0), (r1, c1) = coords[src], coords[dst]
+            ports: list[int] = []
+            c = c0
+            while c != c1:          # X first
+                ports.append(E_ if c1 > c else W_)
+                c += 1 if c1 > c else -1
+            r = r0
+            while r != r1:          # then Y
+                ports.append(S_ if r1 > r else N_)
+                r += 1 if r1 > r else -1
+            ports.append(H_)        # eject to the host port
+            net._routes[(src, dst)] = tuple(ports)

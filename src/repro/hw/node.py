@@ -1,0 +1,127 @@
+"""An SMP node: CPUs, memory, PCI bus, NIC, and its user processes.
+
+DAWNING-3000 nodes are 4-way Power3 SMPs; each simulated node carries
+``cfg.n_cpus_per_node`` CPUs, one physical memory with a frame
+allocator, one PCI bus, and (usually) one NIC.  The kernel is attached
+by the composition root (:mod:`repro.cluster`) after construction, so
+this module stays free of upward dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.config import CostModel
+from repro.hw.cpu import Cpu
+from repro.hw.memory import FrameAllocator, PhysicalMemory
+from repro.hw.nic import Nic
+from repro.hw.pci import PciBus
+from repro.sim import Environment, Tracer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.kernel import Kernel
+    from repro.kernel.vm import AddressSpace
+
+__all__ = ["Node", "UserProcess"]
+
+#: default per-node physical memory; small by DAWNING standards but the
+#: frame allocator only needs to cover what the workloads actually touch
+DEFAULT_MEMORY_BYTES = 64 << 20
+
+
+class UserProcess:
+    """A user process: an address space plus a CPU affinity."""
+
+    def __init__(self, pid: int, node: "Node", cpu: Cpu,
+                 space: "AddressSpace"):
+        self.pid = pid
+        self.node = node
+        self.cpu = cpu
+        self.space = space
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<UserProcess pid={self.pid} node={self.node.node_id}>"
+
+    # Convenience wrappers -------------------------------------------------
+    def alloc(self, nbytes: int) -> int:
+        return self.space.alloc(nbytes)
+
+    def write(self, vaddr: int, data: bytes) -> None:
+        self.space.write(vaddr, data)
+
+    def read(self, vaddr: int, nbytes: int) -> bytes:
+        return self.space.read(vaddr, nbytes)
+
+
+class Node:
+    """One cluster node."""
+
+    def __init__(self, env: Environment, cfg: CostModel, node_id: int,
+                 tracer: Optional[Tracer] = None,
+                 memory_bytes: int = DEFAULT_MEMORY_BYTES,
+                 with_nic: bool = True,
+                 nic_translation_mode: str = "physical"):
+        self.env = env
+        self.cfg = cfg
+        self.node_id = node_id
+        self.tracer = tracer
+        self.name = f"node{node_id}"
+        self.cpus = [Cpu(env, cfg, f"{self.name}.cpu{i}", tracer)
+                     for i in range(cfg.n_cpus_per_node)]
+        self.memory = PhysicalMemory(memory_bytes, cfg.page_size)
+        self.allocator = FrameAllocator(self.memory)
+        self.pci = PciBus(env, cfg, f"{self.name}.pci", tracer)
+        self.nic: Optional[Nic] = None
+        if with_nic:
+            self.nic = Nic(env, cfg, node_id, self.pci, tracer,
+                           translation_mode=nic_translation_mode)
+            self.nic.host_memory = self.memory
+        self.kernel: Optional["Kernel"] = None  # attached by the cluster
+        self.processes: dict[int, UserProcess] = {}
+        #: user-space BclPort objects by port id (intranode directory)
+        self.bcl_ports: dict[int, object] = {}
+        self._next_cpu = 0
+
+    def spawn_process(self, pid: Optional[int] = None,
+                      cpu_index: Optional[int] = None) -> UserProcess:
+        """Create a user process, round-robining CPU affinity by default."""
+        if pid is None:
+            pid = 1000 * (self.node_id + 1) + len(self.processes)
+        if pid in self.processes:
+            raise ValueError(f"{self.name}: pid {pid} already exists")
+        if cpu_index is None:
+            cpu_index = self._next_cpu
+            self._next_cpu = (self._next_cpu + 1) % len(self.cpus)
+        # Imported here: kernel.vm imports hw.memory, so a module-level
+        # import would be circular through the package __init__ files.
+        from repro.kernel.vm import AddressSpace
+        space = AddressSpace(self.allocator, pid)
+        proc = UserProcess(pid, self, self.cpus[cpu_index], space)
+        self.processes[pid] = proc
+        if self.nic is not None:
+            self.nic.register_space(pid, space)
+        return proc
+
+    def exit_process(self, pid: int) -> None:
+        """Tear down a process: ports, pins, shm rings, NIC state."""
+        proc = self.processes.pop(pid, None)
+        if proc is None:
+            raise ValueError(f"{self.name}: no pid {pid}")
+        if self.nic is not None:
+            # Destroy any NIC ports the process still owns (abnormal
+            # exit: the kernel reclaims what close_port would have).
+            for port_id in [p for p, s in self.nic.ports.items()
+                            if s.owner_pid == pid]:
+                self.nic.destroy_port(port_id)
+                self.bcl_ports.pop(port_id, None)
+                module = getattr(self.kernel, "bcl_module", None) \
+                    if self.kernel else None
+                if module is not None:
+                    module._port_of_pid.pop(pid, None)
+        if self.kernel is not None:
+            self.kernel.pindown.evict_pid(pid)
+            self.kernel.shm.destroy_pid(pid)
+        if self.nic is not None:
+            self.nic.spaces.pop(pid, None)
+            if self.nic.mcp is not None:
+                self.nic.mcp.tlb.invalidate(pid)

@@ -1,0 +1,23 @@
+"""Instrumentation: path counters, measurement harness, statistics."""
+
+from repro.instrument.counters import PathCounters
+from repro.instrument.report import ClusterReport, cluster_report
+from repro.instrument.stats import bandwidth_mb_s, summarize
+from repro.instrument.measure import (
+    LatencySample,
+    measure_intra_node,
+    measure_one_way,
+    sweep_message_sizes,
+)
+
+__all__ = [
+    "ClusterReport",
+    "LatencySample",
+    "PathCounters",
+    "cluster_report",
+    "bandwidth_mb_s",
+    "measure_intra_node",
+    "measure_one_way",
+    "summarize",
+    "sweep_message_sizes",
+]

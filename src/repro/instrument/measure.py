@@ -1,0 +1,150 @@
+"""Latency/bandwidth measurement harness over the BCL API.
+
+These helpers orchestrate the paper's microbenchmarks on a
+:class:`~repro.cluster.Cluster`: one-way latency (sender's compose
+start to the receiver's completed ``wait_recv``), message-size sweeps,
+and the intra-node variants.  Synchronisation between the two test
+processes (making sure the rendezvous buffer is posted before the send
+starts) happens through zero-cost simulation events, outside the
+measured path — the simulated analogue of the barrier in a real
+ping-pong harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.bcl.api import BclLibrary
+from repro.firmware.packet import ChannelKind
+from repro.instrument.stats import Summary, bandwidth_mb_s, summarize
+from repro.sim import Store
+from repro.sim.time import ns_to_us
+
+__all__ = ["LatencySample", "measure_one_way", "measure_intra_node",
+           "sweep_message_sizes"]
+
+
+@dataclass
+class LatencySample:
+    """Result of one latency measurement configuration."""
+
+    nbytes: int
+    samples_us: list[float] = field(default_factory=list)
+    received_payloads_ok: bool = True
+
+    @property
+    def summary(self) -> Summary:
+        return summarize(self.samples_us)
+
+    @property
+    def latency_us(self) -> float:
+        return self.summary.mean
+
+    @property
+    def bandwidth_mb_s(self) -> float:
+        return bandwidth_mb_s(self.nbytes, self.latency_us)
+
+
+def _pattern(nbytes: int, seed: int) -> bytes:
+    """Deterministic, seed-dependent payload for integrity checking."""
+    if nbytes == 0:
+        return b""
+    unit = bytes((seed * 31 + i) % 256 for i in range(min(nbytes, 256)))
+    reps = -(-nbytes // len(unit))
+    return (unit * reps)[:nbytes]
+
+
+def measure_one_way(cluster, nbytes: int, repeats: int = 5,
+                    warmup: int = 2,
+                    channel_kind: ChannelKind = ChannelKind.NORMAL,
+                    sender_node: int = 0, receiver_node: int = 1,
+                    verify_payload: bool = True) -> LatencySample:
+    """One-way latency of a ``nbytes`` message, sender start to
+    receiver completion, over the requested channel kind."""
+    env = cluster.env
+    total = warmup + repeats
+    result = LatencySample(nbytes)
+    posted: Store = Store(env)       # receiver -> sender: buffer ready
+    start_times: list[int] = []
+    done = env.event()
+
+    def receiver():
+        proc = cluster.spawn(receiver_node)
+        lib = BclLibrary(proc)
+        port = yield from lib.create_port()
+        buf = proc.alloc(max(nbytes, 1))
+        posted.try_put(("addr", port.address))
+        for i in range(total):
+            if channel_kind is ChannelKind.NORMAL:
+                yield from port.post_recv(0, buf, nbytes)
+            posted.try_put(("ready", i))
+            event = yield from port.wait_recv()
+            elapsed_us = ns_to_us(env.now - start_times[i])
+            if i >= warmup:
+                result.samples_us.append(elapsed_us)
+            if verify_payload and nbytes:
+                if channel_kind is ChannelKind.SYSTEM:
+                    data = yield from port.recv_system(event)
+                else:
+                    data = proc.read(buf, nbytes)
+                if data != _pattern(nbytes, i):
+                    result.received_payloads_ok = False
+            elif channel_kind is ChannelKind.SYSTEM:
+                yield from port.recv_system(event)
+        done.succeed()
+
+    def sender():
+        proc = cluster.spawn(sender_node)
+        lib = BclLibrary(proc)
+        port = yield from lib.create_port()
+        kind, address = yield posted.get()
+        assert kind == "addr"
+        dest = address.with_channel(channel_kind, 0)
+        buf = proc.alloc(max(nbytes, 1))
+        for i in range(total):
+            yield posted.get()                    # buffer is posted
+            proc.write(buf, _pattern(nbytes, i))  # payload prep, unmeasured
+            start_times.append(env.now)
+            yield from port.send(dest, buf, nbytes)
+            yield from port.wait_send()           # reap, off critical path
+
+    env.process(receiver(), name="measure.receiver")
+    env.process(sender(), name="measure.sender")
+    env.run(until=done)
+    return result
+
+
+def measure_intra_node(cluster, nbytes: int, repeats: int = 5,
+                       warmup: int = 2,
+                       channel_kind: ChannelKind = ChannelKind.NORMAL,
+                       node: int = 0,
+                       verify_payload: bool = True) -> LatencySample:
+    """Intra-node one-way latency (both processes on one SMP node)."""
+    return measure_one_way(cluster, nbytes, repeats, warmup, channel_kind,
+                           sender_node=node, receiver_node=node,
+                           verify_payload=verify_payload)
+
+
+def sweep_message_sizes(make_cluster, sizes, repeats: int = 3,
+                        warmup: int = 1, intra_node: bool = False,
+                        channel_kind: Optional[ChannelKind] = None
+                        ) -> list[LatencySample]:
+    """Latency/bandwidth across message sizes (Figures 8 and 9).
+
+    ``make_cluster`` is a zero-argument factory: each size runs on a
+    fresh cluster so queue state never leaks between configurations.
+    """
+    results = []
+    for nbytes in sizes:
+        kind = channel_kind
+        if kind is None:
+            kind = ChannelKind.NORMAL
+        cluster = make_cluster()
+        if intra_node:
+            sample = measure_intra_node(cluster, nbytes, repeats, warmup,
+                                        kind)
+        else:
+            sample = measure_one_way(cluster, nbytes, repeats, warmup, kind)
+        results.append(sample)
+    return results

@@ -1,0 +1,38 @@
+"""Simulated operating system kernel.
+
+The semi-user-level architecture's defining property lives here: the
+send path traps into the kernel (:mod:`repro.kernel.syscall`), where the
+BCL kernel module (:mod:`repro.kernel.module`) performs the security
+checks, pin-down page-table lookup and virtual-to-physical translation
+before filling the NIC send-request queue over PIO — while the receive
+path never enters this package at all.
+"""
+
+from repro.kernel.errors import (
+    BclError,
+    BclSecurityError,
+    ChannelBusyError,
+    ChannelNotReadyError,
+    PortInUseError,
+    ResourceExhaustedError,
+)
+from repro.kernel.interrupts import InterruptController
+from repro.kernel.kernel import Kernel
+from repro.kernel.pindown import PinDownTable
+from repro.kernel.shm import SharedMemoryManager, SharedRing
+from repro.kernel.vm import AddressSpace
+
+__all__ = [
+    "AddressSpace",
+    "BclError",
+    "BclSecurityError",
+    "ChannelBusyError",
+    "ChannelNotReadyError",
+    "InterruptController",
+    "Kernel",
+    "PinDownTable",
+    "PortInUseError",
+    "ResourceExhaustedError",
+    "SharedMemoryManager",
+    "SharedRing",
+]

@@ -1,0 +1,48 @@
+"""Exception hierarchy shared by the kernel and the BCL user library."""
+
+from __future__ import annotations
+
+__all__ = [
+    "BclError",
+    "BclSecurityError",
+    "ChannelBusyError",
+    "ChannelNotReadyError",
+    "PortInUseError",
+    "ResourceExhaustedError",
+    "VmFault",
+]
+
+
+class BclError(Exception):
+    """Base class for all protocol-level errors."""
+
+
+class BclSecurityError(BclError):
+    """A kernel security check rejected the request.
+
+    This is the paper's safeguard in action: "BCL forces the
+    communication request from applications to pass some necessary
+    security checks in kernel module", rejecting bad process ids,
+    buffer pointers outside the caller's address space, and invalid
+    communication targets — without corrupting any kernel state.
+    """
+
+
+class VmFault(BclError):
+    """Access to an unmapped or out-of-range virtual address."""
+
+
+class PortInUseError(BclError):
+    """A process tried to create a second BCL port (one per process)."""
+
+
+class ChannelNotReadyError(BclError):
+    """Rendezvous violation: no receive buffer posted on a normal channel."""
+
+
+class ChannelBusyError(BclError):
+    """A channel already has an outstanding binding/posting."""
+
+
+class ResourceExhaustedError(BclError):
+    """Out of rings, buffers, channels, or pinnable pages."""

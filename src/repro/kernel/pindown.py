@@ -1,0 +1,111 @@
+"""The kernel-resident pin-down buffer page table.
+
+On every BCL send, the kernel "searches pin-down buffer page table and
+completes virtual-to-physical address translation and pin-down
+operation for sending data buffer if search-missing" (paper section 3).
+A hit costs one cheap lookup; a miss pins the missing pages, walks the
+page table, and installs entries.  The table has finite capacity and
+evicts (unpinning) in LRU order, so repeated sends from a rotating set
+of buffers larger than the table thrash — one of the ablation benches.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.config import CostModel
+from repro.kernel.errors import ResourceExhaustedError
+from repro.kernel.vm import AddressSpace
+
+__all__ = ["PinDownTable", "PinDownResult"]
+
+
+@dataclass(frozen=True)
+class PinDownResult:
+    """Outcome of a pin-down lookup for a buffer.
+
+    ``cost_us`` is the kernel CPU time for the lookup/pin work, to be
+    charged by the caller (the BCL kernel module, which runs it inside
+    the trap).
+    """
+
+    hit: bool
+    n_pages: int
+    n_missing: int
+    cost_us: float
+
+
+class PinDownTable:
+    """LRU table of pinned (pid, vpage) entries."""
+
+    def __init__(self, cfg: CostModel):
+        self.cfg = cfg
+        self.capacity = cfg.pindown_capacity_pages
+        self._entries: OrderedDict[tuple[int, int], AddressSpace] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: tuple[int, int]) -> bool:
+        return key in self._entries
+
+    def lookup(self, space: AddressSpace, vaddr: int,
+               nbytes: int) -> PinDownResult:
+        """Ensure the buffer's pages are pinned and tabled.
+
+        Returns the accounting result; raises
+        :class:`ResourceExhaustedError` if the buffer alone exceeds the
+        table (nothing would fit even after evicting everything else).
+        """
+        pages = space.pages_of(vaddr, max(nbytes, 1))
+        if len(pages) > self.capacity:
+            raise ResourceExhaustedError(
+                f"buffer spans {len(pages)} pages; pin-down table holds "
+                f"{self.capacity}")
+        missing = [p for p in pages if (space.pid, p) not in self._entries]
+        cost = self.cfg.pindown_lookup_us
+        if not missing:
+            self.hits += 1
+            for p in pages:
+                self._entries.move_to_end((space.pid, p))
+            return PinDownResult(True, len(pages), 0, cost)
+
+        self.misses += 1
+        for p in missing:
+            key = (space.pid, p)
+            while len(self._entries) >= self.capacity:
+                self._evict_one(exclude_pid_pages={(space.pid, q)
+                                                   for q in pages})
+            space.pin(p * space.page_size, 1)
+            self._entries[key] = space
+            cost += (self.cfg.pin_page_us + self.cfg.translate_page_us
+                     + self.cfg.pindown_insert_us)
+        for p in pages:
+            self._entries.move_to_end((space.pid, p))
+        return PinDownResult(False, len(pages), len(missing), cost)
+
+    def _evict_one(self, exclude_pid_pages: set[tuple[int, int]]) -> None:
+        for key in self._entries:
+            if key not in exclude_pid_pages:
+                victim_space = self._entries.pop(key)
+                victim_space.unpin_page(key[1])
+                self.evictions += 1
+                return
+        raise ResourceExhaustedError(
+            "pin-down table full of pages from the request itself")
+
+    def evict_pid(self, pid: int) -> int:
+        """Unpin and drop all entries of an exiting process."""
+        victims = [k for k in self._entries if k[0] == pid]
+        for key in victims:
+            self._entries.pop(key).unpin_page(key[1])
+        return len(victims)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,83 @@
+"""Kernel security checks on communication requests.
+
+"BCL forces the communication request from applications to pass some
+necessary security checks in kernel module and control program layers.
+...  The parameters checked include application process ID,
+communication buffer pointer, and communication target and so on."
+(paper section 4.2)
+
+All checks raise :class:`BclSecurityError` without mutating any kernel
+state, so a malicious or buggy caller can never corrupt kernel
+structures — the property the failure-injection tests assert.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.firmware.packet import ChannelKind
+from repro.kernel.errors import BclSecurityError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.bcl.address import BclAddress
+    from repro.kernel.vm import AddressSpace
+
+__all__ = ["SecurityValidator"]
+
+#: largest single BCL message the kernel will accept (sanity bound; the
+#: DAWNING BCL used a similar cap to bound pin-down work per call)
+MAX_MESSAGE_BYTES = 1 << 26
+
+
+class SecurityValidator:
+    """Stateless parameter validation run inside the send/post traps."""
+
+    def __init__(self, n_nodes: int, max_ports: int = 1024,
+                 max_channels: int = 256):
+        self.n_nodes = n_nodes
+        self.max_ports = max_ports
+        self.max_channels = max_channels
+
+    def check_caller(self, claimed_pid: int, actual_pid: int) -> None:
+        """The ioctl's claimed process id must be the caller's own."""
+        if claimed_pid != actual_pid:
+            raise BclSecurityError(
+                f"pid forgery: caller {actual_pid} claimed {claimed_pid}")
+
+    def check_buffer(self, space: "AddressSpace", vaddr: int,
+                     nbytes: int) -> None:
+        """The buffer must lie entirely inside the caller's mappings."""
+        if nbytes < 0:
+            raise BclSecurityError(f"negative length {nbytes}")
+        if nbytes > MAX_MESSAGE_BYTES:
+            raise BclSecurityError(
+                f"length {nbytes} exceeds the {MAX_MESSAGE_BYTES}-byte cap")
+        if not space.is_mapped(vaddr, nbytes):
+            raise BclSecurityError(
+                f"buffer [{vaddr:#x}, +{nbytes}) is outside the caller's "
+                "address space")
+
+    def check_target(self, address: "BclAddress") -> None:
+        """Destination node/port/channel must be representable."""
+        if not 0 <= address.node < self.n_nodes:
+            raise BclSecurityError(
+                f"destination node {address.node} does not exist "
+                f"(cluster has {self.n_nodes})")
+        if not 0 <= address.port < self.max_ports:
+            raise BclSecurityError(f"destination port {address.port} invalid")
+        if not 0 <= address.channel_index < self.max_channels:
+            raise BclSecurityError(
+                f"channel index {address.channel_index} invalid")
+
+    def check_channel_kind(self, kind: ChannelKind,
+                           allowed: tuple[ChannelKind, ...]) -> None:
+        if kind not in allowed:
+            raise BclSecurityError(
+                f"operation not permitted on {kind.value} channels")
+
+    def check_port_ownership(self, owner_pid: int, caller_pid: int,
+                             port_id: int) -> None:
+        if owner_pid != caller_pid:
+            raise BclSecurityError(
+                f"pid {caller_pid} does not own port {port_id} "
+                f"(owner: {owner_pid})")

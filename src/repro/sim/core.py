@@ -1,0 +1,360 @@
+"""Core event loop, events and processes.
+
+Semantics follow the familiar generator-coroutine discrete-event style:
+
+* An :class:`Event` is triggered exactly once, either successfully
+  (carrying a value) or as a failure (carrying an exception).
+* A :class:`Process` wraps a generator.  The generator ``yield``\\ s
+  events; the process resumes when the yielded event is processed.  A
+  failed event is re-raised inside the generator, so protocol code can
+  handle simulated faults with ordinary ``try``/``except``.
+* The :class:`Environment` owns the clock and the event heap.  Events
+  scheduled for the same instant are processed in scheduling order,
+  which keeps runs deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Process",
+    "SimulationError",
+    "Timeout",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the engine (double trigger, bad yield, ...)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    The interrupted process sees this exception at its current yield
+    point; ``cause`` carries whatever the interrupter passed.
+    """
+
+    @property
+    def cause(self) -> Any:
+        return self.args[0] if self.args else None
+
+
+_PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence other processes can wait on."""
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused", "_scheduled")
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        #: Callables invoked (with this event) when the event is processed.
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok: bool = True
+        self._defused: bool = False
+        self._scheduled: bool = False
+
+    # -- state ---------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value (it may not be processed yet)."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        if not self.triggered:
+            raise SimulationError("event has not been triggered")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._value is _PENDING:
+            raise SimulationError("event has not been triggered")
+        return self._value
+
+    # -- triggering ----------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger successfully with ``value`` (processed this instant)."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.env._schedule(self, 0)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger as a failure carrying ``exception``."""
+        if not isinstance(exception, BaseException):
+            raise SimulationError(f"fail() needs an exception, got {exception!r}")
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self, 0)
+        return self
+
+    def defuse(self) -> None:
+        """Mark a failure as handled so the loop does not re-raise it."""
+        self._defused = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "processed" if self.processed else (
+            "triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` nanoseconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: int, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env._schedule(self, delay)
+
+
+class _ConditionBase(Event):
+    """Shared machinery for AllOf/AnyOf."""
+
+    __slots__ = ("events", "_n_done")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self.events = tuple(events)
+        self._n_done = 0
+        for ev in self.events:
+            if ev.env is not env:
+                raise SimulationError("cannot mix events from different environments")
+        # Wire up after validation so a raise leaves no dangling callbacks.
+        for ev in self.events:
+            if ev.processed:
+                self._check(ev)
+            else:
+                ev.callbacks.append(self._check)
+        if not self.events and not self.triggered:
+            self.succeed(self._result())
+
+    def _result(self) -> dict[Event, Any]:
+        return {ev: ev.value for ev in self.events if ev.processed and ev.ok}
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            event.defuse()
+            self.fail(event.value)
+            return
+        self._n_done += 1
+        if self._satisfied():
+            self.succeed(self._result())
+
+    def _satisfied(self) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AllOf(_ConditionBase):
+    """Succeeds when every constituent event has succeeded."""
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        return self._n_done == len(self.events)
+
+
+class AnyOf(_ConditionBase):
+    """Succeeds as soon as any constituent event succeeds."""
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        return self._n_done >= 1
+
+
+class Process(Event):
+    """A running generator; the process-event fires when it returns."""
+
+    __slots__ = ("generator", "name", "_target", "is_alive")
+
+    def __init__(self, env: "Environment", generator: Generator,
+                 name: Optional[str] = None):
+        super().__init__(env)
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._target: Optional[Event] = None
+        self.is_alive = True
+        # Kick off at the current instant.
+        start = Event(env)
+        start.succeed()
+        start.callbacks.append(self._resume)
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at this instant."""
+        if not self.is_alive:
+            raise SimulationError(f"cannot interrupt dead process {self.name!r}")
+        if self._target is None:
+            raise SimulationError(
+                f"cannot interrupt {self.name!r}: it is not waiting yet")
+        env = self.env
+        hit = Event(env)
+        hit._ok = False
+        hit._value = Interrupt(cause)
+        hit._defused = True
+        # Detach from whatever it was waiting on so the wait outcome
+        # does not also resume it later.
+        target = self._target
+        if target.callbacks is not None and self._resume in target.callbacks:
+            target.callbacks.remove(self._resume)
+        env._schedule(hit, 0)
+        hit.callbacks.append(self._resume)
+
+    def _resume(self, event: Event) -> None:
+        self.env._active_process = self
+        try:
+            while True:
+                try:
+                    if event._ok:
+                        yielded = self.generator.send(event._value)
+                    else:
+                        event._defused = True
+                        yielded = self.generator.throw(event._value)
+                except StopIteration as stop:
+                    self.is_alive = False
+                    self._target = None
+                    self.succeed(stop.value)
+                    return
+                except BaseException as exc:
+                    self.is_alive = False
+                    self._target = None
+                    self.fail(exc)
+                    return
+
+                if not isinstance(yielded, Event):
+                    err = SimulationError(
+                        f"process {self.name!r} yielded {yielded!r}, "
+                        "which is not an Event")
+                    self.is_alive = False
+                    self._target = None
+                    self.fail(err)
+                    return
+                if yielded.processed:
+                    # Already settled: loop and feed its value straight in.
+                    event = yielded
+                    continue
+                yielded.callbacks.append(self._resume)
+                self._target = yielded
+                return
+        finally:
+            self.env._active_process = None
+
+
+class Environment:
+    """Owner of the virtual clock and the event heap."""
+
+    def __init__(self, initial_time: int = 0):
+        self._now: int = initial_time
+        self._heap: list[tuple[int, int, Event]] = []
+        self._seq: int = 0
+        self._active_process: Optional[Process] = None
+
+    @property
+    def now(self) -> int:
+        """Current virtual time in nanoseconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active_process
+
+    # -- factories -----------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: int, value: Any = None) -> Timeout:
+        return Timeout(self, int(delay), value)
+
+    def process(self, generator: Generator, name: Optional[str] = None) -> Process:
+        return Process(self, generator, name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling ----------------------------------------------------
+    def _schedule(self, event: Event, delay: int) -> None:
+        if event._scheduled:
+            raise SimulationError(f"{event!r} already scheduled")
+        event._scheduled = True
+        heapq.heappush(self._heap, (self._now + delay, self._seq, event))
+        self._seq += 1
+
+    def peek(self) -> Optional[int]:
+        """Time of the next scheduled event, or None if the heap is empty."""
+        return self._heap[0][0] if self._heap else None
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._heap:
+            raise SimulationError("no scheduled events")
+        when, _, event = heapq.heappop(self._heap)
+        if when < self._now:  # pragma: no cover - engine invariant
+            raise SimulationError("time went backwards")
+        self._now = when
+        callbacks = event.callbacks
+        event.callbacks = None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event._defused:
+            # An unhandled simulated failure is a real failure.
+            raise event._value
+
+    def run(self, until: Optional[int | Event] = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be an absolute time (ns), an :class:`Event` (run
+        until it is processed, return its value), or ``None`` (run the
+        heap dry).
+        """
+        if isinstance(until, Event):
+            stop = until
+            while not stop.processed:
+                if not self._heap:
+                    raise SimulationError(
+                        "simulation ran out of events before the target "
+                        f"event triggered (deadlock at t={self._now} ns)")
+                self.step()
+            if not stop.ok:
+                raise stop.value
+            return stop.value
+        if until is not None:
+            horizon = int(until)
+            if horizon < self._now:
+                raise SimulationError(
+                    f"until={horizon} is in the past (now={self._now})")
+            while self._heap and self._heap[0][0] <= horizon:
+                self.step()
+            self._now = horizon
+            return None
+        while self._heap:
+            self.step()
+        return None

@@ -1,0 +1,167 @@
+"""Shared-resource primitives built on the event core.
+
+Two primitives cover everything the hardware models need:
+
+* :class:`Resource` — a counted resource with FIFO waiters.  Used for
+  bus ownership (PCI arbitration), DMA engines, and the NIC firmware
+  processor, where at most ``capacity`` users may hold the resource.
+* :class:`Store` — an unbounded-or-bounded FIFO of items with blocking
+  ``get``/``put``.  Used for request rings, packet queues between
+  pipeline stages, switch output ports and mailbox-style signalling.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Optional
+
+from repro.sim.core import Environment, Event, SimulationError
+
+__all__ = ["Resource", "Store"]
+
+
+class _Request(Event):
+    """Event granted when the resource is acquired."""
+
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.env)
+        self.resource = resource
+
+    # Context-manager sugar so callers can write::
+    #
+    #     with bus.request() as req:
+    #         yield req
+    #         ...
+    #
+    # and the resource is released on exit even if the body raises.
+    def __enter__(self) -> "_Request":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.resource.release(self)
+
+
+class Resource:
+    """Counted resource with strictly FIFO grant order."""
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self._users: set[_Request] = set()
+        self._queue: deque[_Request] = deque()
+
+    @property
+    def count(self) -> int:
+        """Number of current holders."""
+        return len(self._users)
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._queue)
+
+    def request(self) -> _Request:
+        req = _Request(self)
+        if len(self._users) < self.capacity:
+            self._users.add(req)
+            req.succeed()
+        else:
+            self._queue.append(req)
+        return req
+
+    def release(self, request: _Request) -> None:
+        if request in self._users:
+            self._users.remove(request)
+        elif request in self._queue:
+            # Released before it was ever granted (e.g. the waiter was
+            # interrupted): just drop it from the wait queue.
+            self._queue.remove(request)
+            return
+        else:
+            raise SimulationError("releasing a request this resource never granted")
+        if self._queue and len(self._users) < self.capacity:
+            nxt = self._queue.popleft()
+            self._users.add(nxt)
+            nxt.succeed()
+
+
+class Store:
+    """FIFO item store with blocking get and (optionally) blocking put."""
+
+    def __init__(self, env: Environment, capacity: Optional[int] = None):
+        if capacity is not None and capacity < 1:
+            raise SimulationError(f"capacity must be >= 1 or None, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self._items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+        self._putters: deque[tuple[Event, Any]] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def is_full(self) -> bool:
+        return self.capacity is not None and len(self._items) >= self.capacity
+
+    def put(self, item: Any) -> Event:
+        """Insert ``item``; the returned event fires once it is stored."""
+        done = Event(self.env)
+        if self._getters:
+            # Hand straight to the longest-waiting getter.
+            getter = self._getters.popleft()
+            getter.succeed(item)
+            done.succeed()
+        elif not self.is_full:
+            self._items.append(item)
+            done.succeed()
+        else:
+            self._putters.append((done, item))
+        return done
+
+    def try_put(self, item: Any) -> bool:
+        """Non-blocking put; returns False (drops) when the store is full.
+
+        This models hardware FIFOs that discard on overflow, e.g. the
+        BCL system-channel buffer pool ("the incoming message will be
+        discarded if there is no free buffer in the pool").
+        """
+        if self._getters:
+            self._getters.popleft().succeed(item)
+            return True
+        if self.is_full:
+            return False
+        self._items.append(item)
+        return True
+
+    def get(self) -> Event:
+        """Remove and return the oldest item (blocking)."""
+        ev = Event(self.env)
+        if self._items:
+            ev.succeed(self._items.popleft())
+            self._admit_putter()
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def try_get(self) -> tuple[bool, Any]:
+        """Non-blocking get; returns ``(ok, item_or_None)``."""
+        if self._items:
+            item = self._items.popleft()
+            self._admit_putter()
+            return True, item
+        return False, None
+
+    def peek(self) -> Any:
+        if not self._items:
+            raise SimulationError("peek on empty store")
+        return self._items[0]
+
+    def _admit_putter(self) -> None:
+        if self._putters and not self.is_full:
+            done, item = self._putters.popleft()
+            self._items.append(item)
+            done.succeed()

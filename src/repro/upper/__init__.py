@@ -1,0 +1,25 @@
+"""Upper communication layers: EADI-2, MPI and PVM over BCL.
+
+DAWNING-3000 layers its programming software as
+BCL -> EADI-2 -> {MPI, PVM} (paper Figure 1).  :mod:`repro.upper.eadi`
+implements the middle layer — tag matching, eager/rendezvous protocol
+switch, segmented zero-copy rendezvous over normal channels —, and
+:mod:`repro.upper.mpi` / :mod:`repro.upper.pvm` add their respective
+APIs and per-operation library costs on top.  Collective algorithms
+live in :mod:`repro.upper.collectives`.
+"""
+
+from repro.upper.eadi import ANY_SOURCE, ANY_TAG, EadiEndpoint
+from repro.upper.job import Job, run_spmd
+from repro.upper.mpi import MpiEndpoint
+from repro.upper.pvm import PvmTask
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "EadiEndpoint",
+    "Job",
+    "MpiEndpoint",
+    "PvmTask",
+    "run_spmd",
+]

@@ -1,0 +1,100 @@
+"""SPMD job construction: N ranks over a cluster, MPI- or PVM-flavoured.
+
+A :class:`Job` spawns one process per rank (round-robin over nodes by
+default, or packed onto one node for intra-node measurements), opens a
+BCL port per rank, builds the rank -> address map, and wires up the
+requested endpoint layer.  :func:`run_spmd` then runs one generator
+function per rank to completion — the simulated ``mpiexec``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, Optional
+
+from repro.bcl.address import BclAddress
+from repro.bcl.api import BclLibrary
+from repro.cluster import Cluster
+from repro.kernel.errors import BclError
+
+__all__ = ["Job", "run_spmd"]
+
+#: port ids used by job ranks start here (clear of ad-hoc test ports)
+RANK_PORT_BASE = 100
+
+
+class Job:
+    """A set of communicating ranks on a cluster."""
+
+    def __init__(self, cluster: Cluster, n_ranks: int,
+                 layer: str = "mpi",
+                 placement: Optional[list[int]] = None,
+                 n_channels: int = 8):
+        if layer not in ("mpi", "pvm", "eadi"):
+            raise BclError(f"unknown layer {layer!r}")
+        self.cluster = cluster
+        self.n_ranks = n_ranks
+        self.layer = layer
+        if placement is None:
+            placement = [r % len(cluster.nodes) for r in range(n_ranks)]
+        if len(placement) != n_ranks:
+            raise BclError("placement must list one node per rank")
+        self.placement = placement
+        self.n_channels = n_channels
+        self.endpoints: dict[int, object] = {}
+        self.addresses: dict[int, BclAddress] = {
+            rank: BclAddress(placement[rank], RANK_PORT_BASE + rank)
+            for rank in range(n_ranks)
+        }
+
+    def start_rank(self, rank: int) -> Generator:
+        """Create the process/port/endpoint for one rank (a generator —
+        run inside the simulation)."""
+        from repro.upper.eadi import ENVELOPE_BYTES
+        proc = self.cluster.spawn(self.placement[rank])
+        lib = BclLibrary(proc)
+        cfg = self.cluster.cfg
+        port = yield from lib.create_port(
+            port_id=RANK_PORT_BASE + rank,
+            n_normal_channels=self.n_channels,
+            # Pool buffers must hold a full eager payload plus envelope.
+            system_buffer_bytes=cfg.eadi_eager_threshold + ENVELOPE_BYTES)
+        endpoint = self._make_endpoint(rank, port)
+        self.endpoints[rank] = endpoint
+        return endpoint
+
+    def _make_endpoint(self, rank: int, port):
+        cfg = self.cluster.cfg
+        if self.layer == "mpi":
+            from repro.upper.mpi import MpiEndpoint
+            return MpiEndpoint(rank, self.n_ranks, port, self.addresses)
+        if self.layer == "pvm":
+            from repro.upper.pvm import PvmTask
+            return PvmTask(rank, self.n_ranks, port, self.addresses)
+        from repro.upper.eadi import EadiEndpoint
+        return EadiEndpoint(rank, port, self.addresses)
+
+
+def run_spmd(cluster: Cluster, n_ranks: int,
+             fn: Callable[..., Generator], layer: str = "mpi",
+             placement: Optional[list[int]] = None,
+             n_channels: int = 8) -> list:
+    """Run ``fn(endpoint)`` as one simulated process per rank.
+
+    ``fn`` is a generator function taking the rank's endpoint; its
+    return values are collected and returned rank-ordered.
+    """
+    job = Job(cluster, n_ranks, layer, placement, n_channels)
+    env = cluster.env
+
+    def rank_main(rank: int) -> Generator:
+        endpoint = yield from job.start_rank(rank)
+        # Everybody must have a port before anyone sends.
+        while len(job.endpoints) < n_ranks:
+            yield env.timeout(1000)
+        result = yield from fn(endpoint)
+        return result
+
+    procs = [env.process(rank_main(rank), name=f"rank{rank}")
+             for rank in range(n_ranks)]
+    env.run(until=env.all_of(procs))
+    return [p.value for p in procs]

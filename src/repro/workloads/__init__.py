@@ -1,0 +1,34 @@
+"""Workload generators: microbenchmarks and application kernels.
+
+The paper motivates clusters with "technical computing, Internet
+service, and database applications"; besides the ping-pong/streaming
+microbenchmarks the evaluation uses, this package provides one
+application kernel per motivating domain:
+
+* :func:`~repro.workloads.apps.run_stencil` — an iterative 2-D heat
+  stencil with MPI halo exchange (technical computing);
+* :func:`~repro.workloads.apps.run_request_service` — a multi-client
+  request/response service over BCL system channels (Internet service);
+* :func:`~repro.workloads.apps.run_kv_store` — a replicated key-value
+  store reading remote partitions via RMA open channels (database).
+"""
+
+from repro.workloads.streams import (
+    measure_streaming_bandwidth,
+    measure_hotspot,
+)
+from repro.workloads.apps import (
+    run_kv_store,
+    run_request_service,
+    run_sample_sort,
+    run_stencil,
+)
+
+__all__ = [
+    "measure_hotspot",
+    "measure_streaming_bandwidth",
+    "run_kv_store",
+    "run_request_service",
+    "run_sample_sort",
+    "run_stencil",
+]

@@ -1,0 +1,53 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.cluster import Cluster
+from repro.config import DAWNING_3000
+from repro.sim import Environment
+
+# Simulated runs are deterministic; wall-clock deadlines only add
+# flakiness under machine load (e.g. the worst-case 200k/1-byte-MTU
+# segmentation example takes ~250 ms).
+settings.register_profile(
+    "repro", deadline=None,
+    suppress_health_check=[HealthCheck.too_slow])
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def env() -> Environment:
+    return Environment()
+
+
+@pytest.fixture
+def cfg():
+    return DAWNING_3000
+
+
+@pytest.fixture
+def cluster() -> Cluster:
+    """A 2-node semi-user-level cluster (the default configuration)."""
+    return Cluster(n_nodes=2)
+
+
+@pytest.fixture
+def traced_cluster() -> Cluster:
+    return Cluster(n_nodes=2, trace=True)
+
+
+def run_procs(cluster_or_env, *generators, until=None):
+    """Launch generators as simulation processes and run to completion.
+
+    Returns the list of process return values.
+    """
+    env = getattr(cluster_or_env, "env", cluster_or_env)
+    procs = [env.process(g) for g in generators]
+    if until is not None:
+        env.run(until)
+    else:
+        env.run(env.all_of(procs))
+    return [p.value for p in procs]

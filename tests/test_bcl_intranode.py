@@ -1,0 +1,217 @@
+"""Intra-node shared-memory path tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bcl.api import BclLibrary
+from repro.cluster import Cluster
+from repro.firmware.packet import ChannelKind
+
+from tests.conftest import run_procs
+from tests.test_bcl_channels import setup_pair
+
+
+@pytest.fixture
+def one_node():
+    return Cluster(n_nodes=1)
+
+
+def test_intranode_normal_channel_integrity(one_node):
+    ctx = setup_pair(one_node, same_node=True)
+    payload = bytes((3 * i) % 256 for i in range(50000))
+    got = {}
+
+    def receiver():
+        proc = ctx["p1"]
+        buf = proc.alloc(len(payload))
+        yield from ctx["port1"].post_recv(0, buf, len(payload))
+        event = yield from ctx["port1"].wait_recv()
+        got["data"] = proc.read(buf, len(payload))
+        got["event"] = event
+
+    def sender():
+        proc = ctx["p0"]
+        buf = proc.alloc(len(payload))
+        proc.write(buf, payload)
+        dest = ctx["port1"].address.with_channel(ChannelKind.NORMAL, 0)
+        yield from ctx["port0"].send(dest, buf, len(payload))
+
+    run_procs(one_node, receiver(), sender())
+    assert got["data"] == payload
+    assert got["event"].length == len(payload)
+
+
+def test_intranode_steady_state_is_trap_free(one_node):
+    """After ring setup, intranode messaging must not enter the kernel."""
+    ctx = setup_pair(one_node, same_node=True)
+    traps = {}
+
+    def receiver():
+        proc = ctx["p1"]
+        buf = proc.alloc(4096)
+        for i in range(5):
+            yield from ctx["port1"].post_recv(0, buf, 4096)
+            yield from ctx["port1"].wait_recv()
+
+    def sender():
+        proc = ctx["p0"]
+        buf = proc.alloc(4096)
+        proc.write(buf, b"t" * 4096)
+        dest = ctx["port1"].address.with_channel(ChannelKind.NORMAL, 0)
+        # first send sets up the ring (one trap)
+        yield from ctx["port0"].send(dest, buf, 4096)
+        yield from ctx["port0"].wait_send()
+        traps["after_setup"] = one_node.total_traps
+        for _ in range(4):
+            # wait for repost (post_recv traps on the receiver; that is
+            # the rendezvous cost, not the transfer path)
+            yield one_node.env.timeout(50_000)
+            yield from ctx["port0"].send(dest, buf, 4096)
+            yield from ctx["port0"].wait_send()
+
+    run_procs(one_node, receiver(), sender())
+    # sender side added zero traps after ring setup; receiver's traps
+    # are its explicit post_recv calls (4 reposts)
+    assert one_node.total_traps - traps["after_setup"] == 4
+
+
+def test_intranode_system_channel(one_node):
+    ctx = setup_pair(one_node, same_node=True)
+    got = {}
+
+    def receiver():
+        event = yield from ctx["port1"].wait_recv()
+        data = yield from ctx["port1"].recv_system(event)
+        got["data"] = data
+
+    def sender():
+        proc = ctx["p0"]
+        buf = proc.alloc(32)
+        proc.write(buf, b"q" * 32)
+        yield from ctx["port0"].send_system(ctx["port1"].address, buf, 32)
+
+    run_procs(one_node, receiver(), sender())
+    assert got["data"] == b"q" * 32
+
+
+def test_intranode_sequence_numbers_monotonic(one_node):
+    ctx = setup_pair(one_node, same_node=True)
+    n_msgs = 6
+
+    def receiver():
+        proc = ctx["p1"]
+        buf = proc.alloc(64)
+        for _ in range(n_msgs):
+            event = yield from ctx["port1"].wait_recv()
+            yield from ctx["port1"].recv_system(event)
+
+    def sender():
+        proc = ctx["p0"]
+        buf = proc.alloc(64)
+        proc.write(buf, b"z" * 64)
+        for _ in range(n_msgs):
+            yield from ctx["port0"].send_system(ctx["port1"].address, buf, 64)
+            yield from ctx["port0"].wait_send()
+
+    run_procs(one_node, receiver(), sender())
+    ring = one_node.node(0).kernel.shm.ring(ctx["p0"].pid, ctx["p1"].pid)
+    # header + 1 chunk per message, all consumed in sequence
+    assert ring._recv_seq == ring._send_seq == 2 * n_msgs
+
+
+def test_intranode_message_ordering(one_node):
+    ctx = setup_pair(one_node, same_node=True)
+    received = []
+
+    def receiver():
+        for _ in range(8):
+            event = yield from ctx["port1"].wait_recv()
+            data = yield from ctx["port1"].recv_system(event)
+            received.append(data[0])
+
+    def sender():
+        proc = ctx["p0"]
+        buf = proc.alloc(8)
+        for i in range(8):
+            proc.write(buf, bytes([i]) * 8)
+            yield from ctx["port0"].send_system(ctx["port1"].address, buf, 8)
+            yield from ctx["port0"].wait_send()
+
+    run_procs(one_node, receiver(), sender())
+    assert received == list(range(8))
+
+
+def test_intranode_large_message_pipelines_through_small_ring(one_node):
+    """A message bigger than the whole ring must still flow (slot reuse)."""
+    cfg = one_node.cfg
+    ring_capacity = cfg.shm_chunk_bytes * cfg.shm_ring_slots
+    size = ring_capacity * 2 + 12345
+    ctx = setup_pair(one_node, same_node=True)
+    payload = bytes(i % 255 for i in range(size))
+    got = {}
+
+    def receiver():
+        proc = ctx["p1"]
+        buf = proc.alloc(size)
+        yield from ctx["port1"].post_recv(0, buf, size)
+        yield from ctx["port1"].wait_recv()
+        got["data"] = proc.read(buf, size)
+
+    def sender():
+        proc = ctx["p0"]
+        buf = proc.alloc(size)
+        proc.write(buf, payload)
+        dest = ctx["port1"].address.with_channel(ChannelKind.NORMAL, 0)
+        yield from ctx["port0"].send(dest, buf, size)
+
+    run_procs(one_node, receiver(), sender())
+    assert got["data"] == payload
+
+
+def test_intranode_unposted_normal_channel_drops(one_node):
+    ctx = setup_pair(one_node, same_node=True)
+
+    def sender():
+        proc = ctx["p0"]
+        buf = proc.alloc(64)
+        proc.write(buf, b"x" * 64)
+        dest = ctx["port1"].address.with_channel(ChannelKind.NORMAL, 0)
+        yield from ctx["port0"].send(dest, buf, 64)
+
+    def receiver():
+        # poll once after the sender is done; the message must be gone
+        yield one_node.env.timeout(100_000)
+        event = yield from ctx["port1"].poll_recv()
+        assert event is None
+
+    run_procs(one_node, sender(), receiver())
+    assert one_node.node(0).nic.port_state(2).unready_drops == 1
+
+
+def test_intranode_isolation_different_pairs(one_node):
+    """Ring of pair (a,b) is distinct from (b,a) — two queues per pair."""
+    ctx = setup_pair(one_node, same_node=True)
+
+    def ping():
+        proc = ctx["p0"]
+        buf = proc.alloc(16)
+        proc.write(buf, b"PING" * 4)
+        yield from ctx["port0"].send_system(ctx["port1"].address, buf, 16)
+        event = yield from ctx["port0"].wait_recv()
+        data = yield from ctx["port0"].recv_system(event)
+        assert data == b"PONG" * 4
+
+    def pong():
+        event = yield from ctx["port1"].wait_recv()
+        data = yield from ctx["port1"].recv_system(event)
+        assert data == b"PING" * 4
+        proc = ctx["p1"]
+        buf = proc.alloc(16)
+        proc.write(buf, b"PONG" * 4)
+        yield from ctx["port1"].send_system(ctx["port0"].address, buf, 16)
+
+    run_procs(one_node, ping(), pong())
+    shm = one_node.node(0).kernel.shm
+    assert shm.has_ring(ctx["p0"].pid, ctx["p1"].pid)
+    assert shm.has_ring(ctx["p1"].pid, ctx["p0"].pid)

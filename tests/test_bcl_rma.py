@@ -1,0 +1,230 @@
+"""Open-channel RMA tests: remote writes and reads, bounds, intranode."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bcl.api import BclLibrary
+from repro.firmware.descriptors import EventKind
+from repro.firmware.packet import ChannelKind
+from repro.kernel.errors import BclSecurityError, ChannelBusyError
+
+from tests.conftest import run_procs
+from tests.test_bcl_channels import setup_pair
+
+
+def test_rma_write_lands_in_bound_buffer(cluster):
+    ctx = setup_pair(cluster)
+    payload = bytes(range(256)) * 8   # 2 KB
+    got = {}
+
+    def target():
+        proc = ctx["p1"]
+        region = proc.alloc(8192)
+        yield from ctx["port1"].bind_open(0, region, 8192)
+        got["region"] = region
+        event = yield from ctx["port1"].wait_recv()
+        got["event"] = event
+        got["data"] = proc.read(region + 1024, len(payload))
+
+    def writer():
+        proc = ctx["p0"]
+        buf = proc.alloc(len(payload))
+        proc.write(buf, payload)
+        # wait until the target bound its channel
+        while not cluster.node(1).nic.port_state(2).open_channels:
+            yield cluster.env.timeout(1000)
+        dest = ctx["port1"].address.with_channel(ChannelKind.OPEN, 0)
+        yield from ctx["port0"].rma_write(dest, buf, len(payload),
+                                          remote_offset=1024)
+
+    run_procs(cluster, target(), writer())
+    assert got["data"] == payload
+    assert got["event"].kind is EventKind.RMA_WRITE_DONE
+
+
+def test_rma_write_out_of_bounds_dropped(cluster):
+    ctx = setup_pair(cluster)
+
+    def target():
+        proc = ctx["p1"]
+        region = proc.alloc(4096)
+        yield from ctx["port1"].bind_open(0, region, 4096)
+
+    def writer():
+        proc = ctx["p0"]
+        buf = proc.alloc(4096)
+        proc.write(buf, b"w" * 4096)
+        while not cluster.node(1).nic.port_state(2).open_channels:
+            yield cluster.env.timeout(1000)
+        dest = ctx["port1"].address.with_channel(ChannelKind.OPEN, 0)
+        yield from ctx["port0"].rma_write(dest, buf, 4096, remote_offset=100)
+
+    run_procs(cluster, target(), writer())
+    cluster.env.run()
+    assert cluster.node(1).nic.port_state(2).unready_drops >= 1
+    assert len(ctx["port1"].recv_queue) == 0
+
+
+def test_rma_read_roundtrip(cluster):
+    ctx = setup_pair(cluster)
+    remote_data = bytes((7 * i) % 256 for i in range(12000))
+    got = {}
+
+    def target():
+        proc = ctx["p1"]
+        region = proc.alloc(len(remote_data))
+        proc.write(region, remote_data)
+        yield from ctx["port1"].bind_open(0, region, len(remote_data))
+
+    def reader():
+        proc = ctx["p0"]
+        local = proc.alloc(5000)
+        while not cluster.node(1).nic.port_state(2).open_channels:
+            yield cluster.env.timeout(1000)
+        dest = ctx["port1"].address.with_channel(ChannelKind.OPEN, 0)
+        mid = yield from ctx["port0"].rma_read(dest, local, 5000,
+                                               remote_offset=3000)
+        event = yield from ctx["port0"].wait_recv()
+        got["event_matches"] = event.message_id == mid
+        got["kind"] = event.kind
+        got["data"] = proc.read(local, 5000)
+
+    run_procs(cluster, target(), reader())
+    assert got["kind"] is EventKind.RMA_READ_DONE
+    assert got["event_matches"]
+    assert got["data"] == remote_data[3000:8000]
+
+
+def test_rma_read_write_protected_channel(cluster):
+    """A channel bound read-only rejects writes; write-only rejects reads."""
+    ctx = setup_pair(cluster)
+
+    def target():
+        proc = ctx["p1"]
+        region = proc.alloc(4096)
+        yield from ctx["port1"].bind_open(0, region, 4096, writable=False)
+
+    def writer():
+        proc = ctx["p0"]
+        buf = proc.alloc(128)
+        proc.write(buf, b"n" * 128)
+        while not cluster.node(1).nic.port_state(2).open_channels:
+            yield cluster.env.timeout(1000)
+        dest = ctx["port1"].address.with_channel(ChannelKind.OPEN, 0)
+        yield from ctx["port0"].rma_write(dest, buf, 128)
+
+    run_procs(cluster, target(), writer())
+    cluster.env.run()
+    assert cluster.node(1).nic.port_state(2).unready_drops >= 1
+
+
+def test_double_bind_rejected(cluster):
+    ctx = setup_pair(cluster)
+
+    def target():
+        proc = ctx["p1"]
+        region = proc.alloc(4096)
+        yield from ctx["port1"].bind_open(0, region, 4096)
+        with pytest.raises(ChannelBusyError):
+            yield from ctx["port1"].bind_open(0, region, 4096)
+
+    run_procs(cluster, target())
+
+
+def test_intranode_rma_read_direct_copy():
+    from repro.cluster import Cluster
+    cluster = Cluster(n_nodes=1)
+    ctx = setup_pair(cluster, same_node=True)
+    data = b"intranode-rma" * 100
+    got = {}
+
+    def target():
+        proc = ctx["p1"]
+        region = proc.alloc(len(data))
+        proc.write(region, data)
+        yield from ctx["port1"].bind_open(0, region, len(data))
+
+    def reader():
+        proc = ctx["p0"]
+        local = proc.alloc(len(data))
+        while not cluster.node(0).nic.port_state(2).open_channels:
+            yield cluster.env.timeout(1000)
+        dest = ctx["port1"].address.with_channel(ChannelKind.OPEN, 0)
+        before = cluster.total_traps
+        yield from ctx["port0"].rma_read(dest, local, len(data))
+        got["trap_free"] = cluster.total_traps == before
+        event = yield from ctx["port0"].wait_recv()
+        got["kind"] = event.kind
+        got["data"] = proc.read(local, len(data))
+
+    run_procs(cluster, target(), reader())
+    assert got["data"] == data
+    assert got["kind"] is EventKind.RMA_READ_DONE
+    assert got["trap_free"]
+
+
+def test_intranode_rma_read_bounds_checked():
+    from repro.cluster import Cluster
+    cluster = Cluster(n_nodes=1)
+    ctx = setup_pair(cluster, same_node=True)
+
+    def target():
+        proc = ctx["p1"]
+        region = proc.alloc(1024)
+        yield from ctx["port1"].bind_open(0, region, 1024)
+
+    def reader():
+        proc = ctx["p0"]
+        local = proc.alloc(4096)
+        while not cluster.node(0).nic.port_state(2).open_channels:
+            yield cluster.env.timeout(1000)
+        dest = ctx["port1"].address.with_channel(ChannelKind.OPEN, 0)
+        with pytest.raises(BclSecurityError):
+            yield from ctx["port0"].rma_read(dest, local, 2048)
+
+    run_procs(cluster, target(), reader())
+
+
+def test_rma_read_of_unbound_channel_completes_short(cluster):
+    """A read of a channel nobody bound must not hang: the target NIC
+    refuses with an empty response and the requester gets a short_read
+    completion."""
+    ctx = setup_pair(cluster)
+    got = {}
+
+    def reader():
+        proc = ctx["p0"]
+        local = proc.alloc(1024)
+        dest = ctx["port1"].address.with_channel(ChannelKind.OPEN, 5)
+        yield from ctx["port0"].rma_read(dest, local, 1024)
+        event = yield from ctx["port0"].wait_recv()
+        got["status"] = event.status
+        got["kind"] = event.kind
+
+    run_procs(cluster, reader())
+    assert got["kind"] is EventKind.RMA_READ_DONE
+    assert got["status"] == "short_read"
+
+
+def test_rma_read_past_bound_capacity_refused(cluster):
+    ctx = setup_pair(cluster)
+    got = {}
+
+    def target():
+        proc = ctx["p1"]
+        region = proc.alloc(1024)
+        yield from ctx["port1"].bind_open(0, region, 1024)
+
+    def reader():
+        proc = ctx["p0"]
+        local = proc.alloc(4096)
+        while not cluster.node(1).nic.port_state(2).open_channels:
+            yield cluster.env.timeout(1000)
+        dest = ctx["port1"].address.with_channel(ChannelKind.OPEN, 0)
+        yield from ctx["port0"].rma_read(dest, local, 4096)  # > 1024
+        event = yield from ctx["port0"].wait_recv()
+        got["status"] = event.status
+
+    run_procs(cluster, target(), reader())
+    assert got["status"] == "short_read"

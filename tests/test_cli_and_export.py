@@ -1,0 +1,108 @@
+"""CLI commands and chrome-trace export."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.cluster import Cluster
+from repro.instrument.export import chrome_trace_events, write_chrome_trace
+from repro.instrument.measure import measure_one_way
+from repro.sim.trace import Tracer
+
+
+# ------------------------------------------------------------------ export
+def test_chrome_trace_event_structure():
+    tracer = Tracer()
+    tracer.record(1000, 3000, "cpu", "work", "node0.cpu0", message_id=7,
+                  nbytes=64)
+    tracer.record(3000, 4000, "dma", "xfer", "node0.pci", message_id=7)
+    events = chrome_trace_events(tracer)
+    spans = [e for e in events if e["ph"] == "X"]
+    metas = [e for e in events if e["ph"] == "M"]
+    assert len(spans) == 2 and len(metas) == 2
+    work = next(e for e in spans if e["name"] == "work")
+    assert work["ts"] == 1.0 and work["dur"] == 2.0
+    assert work["args"]["message_id"] == 7
+    assert work["args"]["nbytes"] == 64
+    names = {m["args"]["name"] for m in metas}
+    assert names == {"node0.cpu0", "node0.pci"}
+    # distinct components get distinct rows
+    assert len({e["tid"] for e in spans}) == 2
+
+
+def test_chrome_trace_message_filter():
+    tracer = Tracer()
+    tracer.record(0, 10, "cpu", "a", "c0", message_id=1)
+    tracer.record(0, 10, "cpu", "b", "c0", message_id=2)
+    events = chrome_trace_events(tracer, message_id=1)
+    spans = [e for e in events if e["ph"] == "X"]
+    assert [e["name"] for e in spans] == ["a"]
+
+
+def test_write_chrome_trace_roundtrips(tmp_path):
+    cluster = Cluster(n_nodes=2, trace=True)
+    measure_one_way(cluster, 512, repeats=1, warmup=1)
+    path = tmp_path / "trace.json"
+    count = write_chrome_trace(cluster.tracer, str(path))
+    payload = json.loads(path.read_text())
+    assert len(payload["traceEvents"]) == count > 10
+    stages = {e["name"] for e in payload["traceEvents"]}
+    assert "fill_send_descriptor" in stages
+    assert "mcp_send_processing" in stages
+
+
+def test_write_chrome_trace_to_file_object():
+    tracer = Tracer()
+    tracer.record(0, 10, "cpu", "x", "c0")
+    buf = io.StringIO()
+    write_chrome_trace(tracer, buf)
+    assert json.loads(buf.getvalue())["traceEvents"]
+
+
+# --------------------------------------------------------------------- CLI
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_cli_latency(capsys):
+    assert main(["latency", "--bytes", "0", "--repeats", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "18.3" in out
+
+
+def test_cli_latency_intra(capsys):
+    assert main(["latency", "--bytes", "0", "--intra-node",
+                 "--repeats", "2"]) == 0
+    assert "2.70" in capsys.readouterr().out
+
+
+def test_cli_bandwidth(capsys):
+    assert main(["bandwidth", "--sizes", "4096"]) == 0
+    out = capsys.readouterr().out
+    assert "4096" in out and "MB/s" in out
+
+
+def test_cli_timeline(capsys):
+    assert main(["timeline"]) == 0
+    out = capsys.readouterr().out
+    assert "fill_send_descriptor" in out
+    assert "18.3" in out
+
+
+def test_cli_trace(tmp_path, capsys):
+    out_file = tmp_path / "t.json"
+    assert main(["trace", "--output", str(out_file),
+                 "--bytes", "1024"]) == 0
+    assert out_file.exists()
+    assert json.loads(out_file.read_text())["traceEvents"]
+
+
+def test_cli_report(capsys):
+    assert main(["report", "--bytes", "4096", "--messages", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "node0" in out and "pindown" in out

@@ -1,0 +1,259 @@
+"""EADI-2 layer tests: matching, eager/rendezvous, unexpected messages."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.kernel.errors import BclError
+from repro.upper.eadi import ANY_SOURCE, ANY_TAG
+from repro.upper.job import run_spmd
+
+
+def payload_for(i, n):
+    return bytes((i * 17 + j) % 256 for j in range(n))
+
+
+def test_eager_small_message_roundtrip(cluster):
+    n = 512  # below the eager threshold
+
+    def fn(ep):
+        buf = ep.lib.proc.alloc(n) if hasattr(ep, "lib") else None
+        proc = ep.lib.proc
+        if ep.rank == 0:
+            proc.write(buf, payload_for(1, n))
+            yield from ep.send(1, buf, n, tag=5)
+            return None
+        status = yield from ep.recv(0, 5, buf, n)
+        assert status.length == n and status.src_rank == 0
+        return proc.read(buf, n)
+
+    results = run_spmd(cluster, 2, fn, layer="eadi")
+    assert results[1] == payload_for(1, n)
+    assert cluster.env.now > 0
+
+
+def test_rendezvous_large_message_roundtrip(cluster):
+    cfg = cluster.cfg
+    n = cfg.eadi_segment_bytes * 2 + 777   # 3 segments
+
+    def fn(ep):
+        proc = ep.lib.proc
+        buf = proc.alloc(n)
+        if ep.rank == 0:
+            proc.write(buf, payload_for(2, n))
+            yield from ep.send(1, buf, n, tag=9)
+            assert ep.rendezvous_sends == 1 and ep.eager_sends == 0
+            return None
+        status = yield from ep.recv(0, 9, buf, n)
+        assert status.length == n
+        return proc.read(buf, n)
+
+    results = run_spmd(cluster, 2, fn, layer="eadi")
+    assert results[1] == payload_for(2, n)
+
+
+def test_eager_threshold_boundary(cluster):
+    cfg = cluster.cfg
+    sizes = [cfg.eadi_eager_threshold, cfg.eadi_eager_threshold + 1]
+
+    def fn(ep):
+        proc = ep.lib.proc
+        buf = proc.alloc(max(sizes))
+        if ep.rank == 0:
+            for tag, n in enumerate(sizes):
+                proc.write(buf, payload_for(tag, n))
+                yield from ep.send(1, buf, n, tag=tag)
+            assert ep.eager_sends == 1
+            assert ep.rendezvous_sends == 1
+            return None
+        out = []
+        for tag, n in enumerate(sizes):
+            yield from ep.recv(0, tag, buf, max(sizes))
+            out.append(proc.read(buf, n))
+        return out
+
+    results = run_spmd(cluster, 2, fn, layer="eadi")
+    for tag, n in enumerate(sizes):
+        assert results[1][tag] == payload_for(tag, n)
+
+
+def test_unexpected_eager_message_buffered(cluster):
+    """Eager data arriving before the recv is posted must be queued and
+    delivered when the matching recv appears."""
+    n = 256
+
+    def fn(ep):
+        proc = ep.lib.proc
+        buf = proc.alloc(n)
+        if ep.rank == 0:
+            proc.write(buf, payload_for(3, n))
+            yield from ep.send(1, buf, n, tag=1)
+            return None
+        # Sleep long enough that the message is already here.
+        yield ep.env.timeout(200_000)
+        yield from ep.progress()       # pull it into the unexpected queue
+        assert ep.unexpected_count == 1
+        status = yield from ep.recv(0, 1, buf, n)
+        assert status.length == n
+        return proc.read(buf, n)
+
+    results = run_spmd(cluster, 2, fn, layer="eadi")
+    assert results[1] == payload_for(3, n)
+
+
+def test_unexpected_rts_matched_later(cluster):
+    n = cluster.cfg.eadi_eager_threshold * 4
+
+    def fn(ep):
+        proc = ep.lib.proc
+        buf = proc.alloc(n)
+        if ep.rank == 0:
+            proc.write(buf, payload_for(4, n))
+            yield from ep.send(1, buf, n, tag=2)
+            return None
+        yield ep.env.timeout(300_000)
+        yield from ep.progress()
+        assert ep.unexpected_count == 1
+        yield from ep.recv(0, 2, buf, n)
+        return proc.read(buf, n)
+
+    results = run_spmd(cluster, 2, fn, layer="eadi")
+    assert results[1] == payload_for(4, n)
+
+
+def test_wildcard_source_and_tag(cluster):
+    def fn(ep):
+        proc = ep.lib.proc
+        buf = proc.alloc(64)
+        if ep.rank == 0:
+            proc.write(buf, b"w" * 64)
+            yield from ep.send(1, buf, 64, tag=77)
+            return None
+        status = yield from ep.recv(ANY_SOURCE, ANY_TAG, buf, 64)
+        return (status.src_rank, status.tag)
+
+    results = run_spmd(cluster, 2, fn, layer="eadi")
+    assert results[1] == (0, 77)
+
+
+def test_tag_selectivity(cluster):
+    """A recv for tag B must not match an earlier tag-A message."""
+
+    def fn(ep):
+        proc = ep.lib.proc
+        buf = proc.alloc(64)
+        if ep.rank == 0:
+            proc.write(buf, b"A" * 64)
+            yield from ep.send(1, buf, 64, tag=1)
+            proc.write(buf, b"B" * 64)
+            yield from ep.send(1, buf, 64, tag=2)
+            return None
+        yield from ep.recv(0, 2, buf, 64)
+        first = proc.read(buf, 64)
+        yield from ep.recv(0, 1, buf, 64)
+        second = proc.read(buf, 64)
+        return (first, second)
+
+    results = run_spmd(cluster, 2, fn, layer="eadi")
+    assert results[1] == (b"B" * 64, b"A" * 64)
+
+
+def test_message_ordering_same_tag(cluster):
+    count = 6
+
+    def fn(ep):
+        proc = ep.lib.proc
+        buf = proc.alloc(16)
+        if ep.rank == 0:
+            for i in range(count):
+                proc.write(buf, bytes([i]) * 16)
+                yield from ep.send(1, buf, 16, tag=0)
+            return None
+        seen = []
+        for _ in range(count):
+            yield from ep.recv(0, 0, buf, 16)
+            seen.append(proc.read(buf, 1)[0])
+        return seen
+
+    results = run_spmd(cluster, 2, fn, layer="eadi")
+    assert results[1] == list(range(count))
+
+
+def test_recv_buffer_too_small_raises(cluster):
+    def fn(ep):
+        proc = ep.lib.proc
+        buf = proc.alloc(4096)
+        if ep.rank == 0:
+            proc.write(buf, b"x" * 1024)
+            yield from ep.send(1, buf, 1024, tag=0)
+            return None
+        with pytest.raises(BclError):
+            yield from ep.recv(0, 0, buf, 16)
+        return True
+
+    results = run_spmd(cluster, 2, fn, layer="eadi")
+    assert results[1] is True
+
+
+def test_bidirectional_concurrent_sends(cluster):
+    """Both ranks send before either receives: the progress engine must
+    drive both directions without deadlock."""
+    n = cluster.cfg.eadi_segment_bytes + 5   # rendezvous both ways
+
+    def fn(ep):
+        proc = ep.lib.proc
+        sbuf, rbuf = proc.alloc(n), proc.alloc(n)
+        peer = 1 - ep.rank
+        proc.write(sbuf, payload_for(ep.rank, n))
+        op = yield from ep.isend(peer, sbuf, n, tag=3)
+        yield from ep.recv(peer, 3, rbuf, n)
+        yield from ep.wait(op)
+        return proc.read(rbuf, n)
+
+    results = run_spmd(cluster, 2, fn, layer="eadi")
+    assert results[0] == payload_for(1, n)
+    assert results[1] == payload_for(0, n)
+
+
+def test_many_concurrent_rendezvous_channels_recycle(cluster):
+    """More rendezvous transfers than normal channels: grants must
+    queue and recycle."""
+    cfg = cluster.cfg
+    n = cfg.eadi_segment_bytes + 1
+    count = 12   # > 8 channels
+
+    def fn(ep):
+        proc = ep.lib.proc
+        buf = proc.alloc(n)
+        if ep.rank == 0:
+            ops = []
+            proc.write(buf, payload_for(9, n))
+            for i in range(count):
+                op = yield from ep.isend(1, buf, n, tag=i)
+                ops.append(op)
+            for op in ops:
+                yield from ep.wait(op)
+            return None
+        total = 0
+        for i in range(count):
+            status = yield from ep.recv(0, i, buf, n)
+            total += status.length
+        return total
+
+    results = run_spmd(cluster, 2, fn, layer="eadi")
+    assert results[1] == count * n
+
+
+def test_send_to_unknown_rank_rejected(cluster):
+    def fn(ep):
+        proc = ep.lib.proc
+        buf = proc.alloc(16)
+        if ep.rank == 0:
+            with pytest.raises(BclError):
+                yield from ep.send(5, buf, 16, tag=0)
+        else:
+            yield ep.env.timeout(0)
+        return True
+
+    run_spmd(cluster, 2, fn, layer="eadi")

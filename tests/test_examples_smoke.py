@@ -1,0 +1,41 @@
+"""Smoke-run every example as a subprocess.
+
+The examples are user-facing documentation; this keeps them green.
+Each example validates its own results (they raise/exit non-zero on
+wrong answers), so exit code 0 is a real assertion.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parent.parent / "examples")
+    .glob("*.py"))
+
+#: arguments to keep the slower examples quick under test
+FAST_ARGS = {
+    "mpi_stencil.py": ["16", "3"],
+    "pvm_pi.py": ["10000"],
+}
+
+
+def test_examples_exist():
+    names = {p.name for p in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(names) >= 3      # the deliverable floor; we ship six
+
+
+@pytest.mark.parametrize("example", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs_clean(example):
+    args = FAST_ARGS.get(example.name, [])
+    proc = subprocess.run(
+        [sys.executable, str(example), *args],
+        capture_output=True, text=True, timeout=420)
+    assert proc.returncode == 0, \
+        f"{example.name} failed:\n{proc.stdout}\n{proc.stderr}"
+    assert proc.stdout.strip(), f"{example.name} printed nothing"

@@ -1,0 +1,153 @@
+"""Tracer, timelines, cluster report, and completion-queue overflow."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bcl.events import CompletionQueue
+from repro.cluster import Cluster
+from repro.config import DAWNING_3000
+from repro.firmware.descriptors import BclEvent, EventKind
+from repro.instrument.report import cluster_report
+from repro.instrument.measure import measure_one_way
+from repro.sim import Environment
+from repro.sim.trace import StageTimeline, Tracer
+
+from tests.conftest import run_procs
+from tests.test_bcl_channels import setup_pair
+
+
+# ------------------------------------------------------------------ tracer
+def test_tracer_records_and_queries():
+    tracer = Tracer()
+    tracer.record(0, 100, "cpu", "work", "c0", message_id=1)
+    tracer.record(100, 300, "dma", "xfer", "pci", message_id=1)
+    tracer.record(50, 80, "cpu", "other", "c1", message_id=2)
+    assert len(tracer.for_message(1)) == 2
+    assert tracer.total_us(category="cpu") == pytest.approx(0.13)
+    assert tracer.total_us(message_id=1) == pytest.approx(0.3)
+    assert [r.stage for r in tracer.by_category("dma")] == ["xfer"]
+    assert len(tracer.by_stage("work")) == 1
+
+
+def test_tracer_disabled_records_nothing():
+    tracer = Tracer(enabled=False)
+    tracer.record(0, 10, "cpu", "work", "c0")
+    assert tracer.records == []
+
+
+def test_tracer_rejects_negative_span():
+    tracer = Tracer()
+    with pytest.raises(ValueError):
+        tracer.record(100, 50, "cpu", "work", "c0")
+
+
+def test_tracer_listener_invoked():
+    tracer = Tracer()
+    seen = []
+    tracer.add_listener(seen.append)
+    tracer.record(0, 10, "cpu", "work", "c0")
+    assert len(seen) == 1 and seen[0].duration_ns == 10
+
+
+def test_stage_timeline_critical_path_and_format():
+    tracer = Tracer()
+    tracer.record(0, 1000, "cpu", "a", "c0", message_id=1)
+    tracer.record(500, 3_000, "dma", "b", "pci", message_id=1)
+    timeline = StageTimeline(tracer.for_message(1))
+    assert timeline.critical_path_us == pytest.approx(3.0)
+    assert timeline.stage_us("a") == pytest.approx(1.0)
+    text = timeline.format("test")
+    assert "test" in text and "a" in text and "b" in text
+    assert len(timeline) == 2
+
+
+# ----------------------------------------------------------- cluster report
+def test_cluster_report_after_traffic():
+    cluster = Cluster(n_nodes=2)
+    measure_one_way(cluster, 8192, repeats=2, warmup=1)
+    report = cluster_report(cluster)
+    assert report.elapsed_us > 0
+    sender = report.node(0)
+    receiver = report.node(1)
+    assert sender.traps_send >= 3            # one per message
+    assert receiver.traps_recv >= 3          # posted receives
+    assert sender.nic_messages_sent == 3
+    assert receiver.nic_messages_delivered == 3
+    assert sender.pio_words_written > 0
+    assert receiver.dma_bytes > 0
+    assert sender.pindown_hits + sender.pindown_misses >= 3
+    assert report.total_retransmissions == 0
+    assert any(l.packets > 0 for l in report.links)
+    busiest = report.busiest_link
+    assert 0 < report.link_utilisation(busiest) <= 1.0
+    assert 0 < sender.cpu_utilisation(report.elapsed_us) < 1.0
+    text = report.format()
+    assert "node0" in text and "busiest link" in text
+
+
+def test_cluster_report_counts_drops():
+    cluster = Cluster(n_nodes=2)
+    ctx = setup_pair(cluster)
+
+    def sender():
+        proc = ctx["p0"]
+        buf = proc.alloc(64)
+        proc.write(buf, b"x" * 64)
+        from repro.firmware.packet import ChannelKind
+        dest = ctx["port1"].address.with_channel(ChannelKind.NORMAL, 3)
+        yield from ctx["port0"].send(dest, buf, 64)   # unposted channel
+
+    run_procs(cluster, sender())
+    cluster.env.run()
+    report = cluster_report(cluster)
+    assert report.node(1).unready_channel_drops == 1
+
+
+# --------------------------------------------------- completion queue depth
+def test_completion_queue_overflow_drops_events():
+    env = Environment()
+    cq = CompletionQueue(env, "cq", capacity=2)
+    ev = BclEvent(kind=EventKind.RECV_DONE, message_id=1, length=0)
+    assert cq.push(ev) and cq.push(ev)
+    assert not cq.push(ev)
+    assert cq.overflows == 1
+    assert len(cq) == 2
+    cq.try_pop()
+    assert cq.push(ev)
+
+
+def test_completion_queue_invalid_capacity():
+    env = Environment()
+    with pytest.raises(ValueError):
+        CompletionQueue(env, "cq", capacity=0)
+
+
+def test_port_event_ring_overflow_end_to_end():
+    """More undrained messages than the event ring holds: the extras
+    are dropped at the ring, like a hardware event queue overrun."""
+    cfg = DAWNING_3000.replace(completion_queue_entries=4)
+    cluster = Cluster(n_nodes=2, cfg=cfg)
+    ctx = setup_pair(cluster)
+    n_sent = 8
+
+    def sender():
+        proc = ctx["p0"]
+        buf = proc.alloc(16)
+        proc.write(buf, b"o" * 16)
+        for _ in range(n_sent):   # receiver never polls
+            yield from ctx["port0"].send_system(ctx["port1"].address,
+                                                buf, 16)
+
+    run_procs(cluster, sender())
+    cluster.env.run()
+    assert len(ctx["port1"].recv_queue) == 4
+    assert ctx["port1"].recv_queue.overflows == 4
+
+
+def test_wakeup_event_fires_immediately_when_nonempty():
+    env = Environment()
+    cq = CompletionQueue(env, "cq")
+    cq.push(BclEvent(kind=EventKind.RECV_DONE, message_id=1, length=0))
+    ev = cq.wakeup_event()
+    assert ev.triggered

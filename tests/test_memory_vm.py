@@ -1,0 +1,164 @@
+"""Physical memory, frame allocation, and virtual memory tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hw.memory import FrameAllocator, OutOfMemoryError, PhysicalMemory
+from repro.kernel.errors import VmFault
+from repro.kernel.vm import AddressSpace
+
+
+def make_space(size=1 << 20, pid=7):
+    memory = PhysicalMemory(size, page_size=4096)
+    return AddressSpace(FrameAllocator(memory), pid), memory
+
+
+# ------------------------------------------------------------- PhysicalMemory
+def test_memory_roundtrip():
+    mem = PhysicalMemory(1 << 16)
+    mem.write(100, b"hello")
+    assert mem.read(100, 5) == b"hello"
+
+
+def test_memory_bounds_checked():
+    mem = PhysicalMemory(4096)
+    with pytest.raises(ValueError):
+        mem.read(4090, 10)
+    with pytest.raises(ValueError):
+        mem.write(-1, b"x")
+
+
+def test_memory_size_must_be_page_multiple():
+    with pytest.raises(ValueError):
+        PhysicalMemory(5000, page_size=4096)
+
+
+def test_scatter_gather_roundtrip():
+    mem = PhysicalMemory(1 << 16)
+    segs = [(0, 3), (100, 4), (200, 2)]
+    mem.write_scatter(segs, b"abcdefghi")
+    assert mem.read_gather(segs) == b"abcdefghi"
+
+
+def test_scatter_length_mismatch():
+    mem = PhysicalMemory(1 << 16)
+    with pytest.raises(ValueError):
+        mem.write_scatter([(0, 2)], b"abc")
+
+
+# ------------------------------------------------------------ FrameAllocator
+def test_allocator_exhaustion():
+    mem = PhysicalMemory(4096 * 4)
+    alloc = FrameAllocator(mem)
+    alloc.alloc_many(4)
+    with pytest.raises(OutOfMemoryError):
+        alloc.alloc()
+
+
+def test_allocator_free_and_reuse_lowest_first():
+    mem = PhysicalMemory(4096 * 4)
+    alloc = FrameAllocator(mem)
+    frames = alloc.alloc_many(4)
+    alloc.free(frames[2])
+    alloc.free(frames[0])
+    assert alloc.alloc() == frames[0]
+
+
+def test_allocator_double_free_rejected():
+    alloc = FrameAllocator(PhysicalMemory(4096 * 2))
+    frame = alloc.alloc()
+    alloc.free(frame)
+    with pytest.raises(ValueError):
+        alloc.free(frame)
+
+
+# ---------------------------------------------------------------- AddressSpace
+def test_space_alloc_and_data_roundtrip():
+    space, _ = make_space()
+    vaddr = space.alloc(10000)
+    payload = bytes(range(256)) * 40
+    space.write(vaddr, payload[:10000])
+    assert space.read(vaddr, 10000) == payload[:10000]
+
+
+def test_space_translate_unmapped_faults():
+    space, _ = make_space()
+    with pytest.raises(VmFault):
+        space.translate(0x123)
+
+
+def test_space_regions_have_guard_gap():
+    space, _ = make_space()
+    a = space.alloc(4096)
+    b = space.alloc(4096)
+    assert b - a > 4096  # guard page between regions
+    assert not space.is_mapped(a + 4096, 1)
+
+
+def test_segments_cover_exact_bytes():
+    space, _ = make_space()
+    vaddr = space.alloc(3 * 4096)
+    segs = space.segments(vaddr + 100, 5000)
+    assert sum(length for _, length in segs) == 5000
+
+
+def test_segments_coalesce_adjacent_frames():
+    space, _ = make_space()
+    vaddr = space.alloc(4 * 4096)
+    # Deterministic allocator hands out ascending frames, so the whole
+    # region should coalesce into one segment.
+    segs = space.segments(vaddr, 4 * 4096)
+    assert len(segs) == 1
+
+
+def test_segments_zero_length():
+    space, _ = make_space()
+    vaddr = space.alloc(4096)
+    assert space.segments(vaddr, 0) == []
+
+
+def test_pin_refcounting():
+    space, _ = make_space()
+    vaddr = space.alloc(4096)
+    vpage = vaddr // 4096
+    space.pin(vaddr, 4096)
+    space.pin(vaddr, 4096)
+    assert space.is_pinned(vpage)
+    space.unpin_page(vpage)
+    assert space.is_pinned(vpage)
+    space.unpin_page(vpage)
+    assert not space.is_pinned(vpage)
+    with pytest.raises(VmFault):
+        space.unpin_page(vpage)
+
+
+def test_free_pinned_region_rejected():
+    space, _ = make_space()
+    vaddr = space.alloc(4096)
+    space.pin(vaddr, 4096)
+    with pytest.raises(VmFault):
+        space.free(vaddr)
+
+
+def test_free_returns_frames():
+    mem = PhysicalMemory(4096 * 8)
+    alloc = FrameAllocator(mem)
+    space = AddressSpace(alloc, 1)
+    before = alloc.free_frames
+    vaddr = space.alloc(3 * 4096)
+    assert alloc.free_frames == before - 3
+    space.free(vaddr)
+    assert alloc.free_frames == before
+
+
+def test_two_spaces_do_not_alias():
+    mem = PhysicalMemory(1 << 20)
+    alloc = FrameAllocator(mem)
+    s1, s2 = AddressSpace(alloc, 1), AddressSpace(alloc, 2)
+    v1, v2 = s1.alloc(4096), s2.alloc(4096)
+    s1.write(v1, b"one!")
+    s2.write(v2, b"two!")
+    assert s1.read(v1, 4) == b"one!"
+    assert s2.read(v2, 4) == b"two!"
+    assert s1.translate(v1) != s2.translate(v2)

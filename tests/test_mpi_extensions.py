@@ -1,0 +1,190 @@
+"""Extended MPI surface: probe, waitall, scan, reduce_scatter."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster
+from repro.upper.eadi import ANY_SOURCE, ANY_TAG
+from repro.upper.job import run_spmd
+
+
+@pytest.fixture
+def four_node_cluster():
+    return Cluster(n_nodes=4)
+
+
+def test_iprobe_reports_pending_message(cluster):
+    def fn(ep):
+        buf = ep.alloc(64)
+        if ep.rank == 0:
+            ep.proc.write(buf, b"p" * 64)
+            yield from ep.send(1, buf, 64, tag=9)
+            return None
+        # Before anything arrives, iprobe is empty (nothing sent to us
+        # yet or still in flight).
+        yield ep.port.env.timeout(100_000)
+        found = yield from ep.iprobe(0, 9)
+        assert found == (0, 9, 64)
+        # probing does not consume the message
+        status = yield from ep.recv(0, 9, buf, 64)
+        return status.length
+
+    results = run_spmd(cluster, 2, fn)
+    assert results[1] == 64
+
+
+def test_iprobe_none_when_no_match(cluster):
+    def fn(ep):
+        buf = ep.alloc(64)
+        if ep.rank == 0:
+            ep.proc.write(buf, b"q" * 64)
+            yield from ep.send(1, buf, 64, tag=5)
+            return None
+        yield ep.port.env.timeout(100_000)
+        assert (yield from ep.iprobe(0, 6)) is None     # wrong tag
+        assert (yield from ep.iprobe(0, 5)) is not None
+        yield from ep.recv(0, 5, buf, 64)
+        return True
+
+    assert run_spmd(cluster, 2, fn)[1] is True
+
+
+def test_blocking_probe_wakes_on_arrival(cluster):
+    def fn(ep):
+        buf = ep.alloc(32)
+        env = ep.port.env
+        if ep.rank == 0:
+            yield env.timeout(500_000)   # make the receiver wait
+            ep.proc.write(buf, b"z" * 32)
+            yield from ep.send(1, buf, 32, tag=1)
+            return None
+        t0 = env.now
+        src, tag, length = yield from ep.probe(ANY_SOURCE, ANY_TAG)
+        assert env.now - t0 >= 500_000
+        assert (src, tag, length) == (0, 1, 32)
+        yield from ep.recv(src, tag, buf, 32)
+        return True
+
+    assert run_spmd(cluster, 2, fn)[1] is True
+
+
+def test_waitall_collects_statuses(cluster):
+    count = 4
+
+    def fn(ep):
+        bufs = [ep.alloc(128) for _ in range(count)]
+        if ep.rank == 0:
+            ops = []
+            for i, buf in enumerate(bufs):
+                ep.proc.write(buf, bytes([i]) * 128)
+                op = yield from ep.isend(1, buf, 128, tag=i)
+                ops.append(op)
+            yield from ep.waitall(ops)
+            return None
+        ops = []
+        for i, buf in enumerate(bufs):
+            op = yield from ep.irecv(0, i, buf, 128)
+            ops.append(op)
+        statuses = yield from ep.waitall(ops)
+        data = [ep.proc.read(buf, 1)[0] for buf in bufs]
+        return ([s.length for s in statuses], data)
+
+    lengths, data = run_spmd(cluster, 2, fn)[1]
+    assert lengths == [128] * count
+    assert data == list(range(count))
+
+
+@pytest.mark.parametrize("n_ranks", [2, 3, 4])
+def test_scan_inclusive_prefix(four_node_cluster, n_ranks):
+    def fn(ep):
+        local = np.full(4, float(ep.rank + 1))
+        result = yield from ep.scan(local, op="sum")
+        return result
+
+    results = run_spmd(four_node_cluster, n_ranks, fn)
+    for rank, result in enumerate(results):
+        expected = sum(range(1, rank + 2))
+        np.testing.assert_allclose(result, np.full(4, float(expected)))
+
+
+def test_scan_max(four_node_cluster):
+    def fn(ep):
+        local = np.array([float((ep.rank * 7) % 5)])
+        result = yield from ep.scan(local, op="max")
+        return float(result[0])
+
+    results = run_spmd(four_node_cluster, 4, fn)
+    values = [(r * 7) % 5 for r in range(4)]
+    expected = [float(max(values[:i + 1])) for i in range(4)]
+    assert results == expected
+
+
+@pytest.mark.parametrize("n_ranks", [2, 4])
+def test_reduce_scatter(four_node_cluster, n_ranks):
+    block = 3
+
+    def fn(ep):
+        local = np.arange(n_ranks * block, dtype=np.float64) + ep.rank
+        result = yield from ep.reduce_scatter(local, op="sum")
+        return result
+
+    results = run_spmd(four_node_cluster, n_ranks, fn)
+    full = sum(np.arange(n_ranks * block, dtype=np.float64) + r
+               for r in range(n_ranks))
+    for rank, result in enumerate(results):
+        np.testing.assert_allclose(result,
+                                   full[rank * block:(rank + 1) * block])
+
+
+def test_reduce_scatter_uneven_rejected(four_node_cluster):
+    def fn(ep):
+        local = np.arange(5, dtype=np.float64)   # 5 does not split by 3
+        with pytest.raises(ValueError):
+            yield from ep.reduce_scatter(local, op="sum")
+        return True
+
+    assert all(run_spmd(four_node_cluster, 3, fn))
+
+
+@pytest.mark.parametrize("n_ranks,length", [(2, 8), (3, 7), (4, 16), (5, 9)])
+def test_ring_allreduce_matches_tree(four_node_cluster, n_ranks, length):
+    values = [np.arange(length, dtype=np.float64) * (r + 1)
+              for r in range(n_ranks)]
+
+    def fn(ep):
+        ring = yield from ep.allreduce(values[ep.rank], op="sum",
+                                       algorithm="ring")
+        tree = yield from ep.allreduce(values[ep.rank], op="sum",
+                                       algorithm="tree")
+        return ring, tree
+
+    results = run_spmd(four_node_cluster, n_ranks, fn,
+                       placement=[r % 4 for r in range(n_ranks)])
+    expected = np.sum(values, axis=0)
+    for ring, tree in results:
+        np.testing.assert_allclose(ring, expected)
+        np.testing.assert_allclose(tree, expected)
+
+
+def test_ring_allreduce_max_op(four_node_cluster):
+    def fn(ep):
+        local = np.array([float((ep.rank * 3) % 7), float(ep.rank)])
+        out = yield from ep.allreduce(local, op="max", algorithm="ring")
+        return out
+
+    results = run_spmd(four_node_cluster, 4, fn)
+    expected = np.max([[float((r * 3) % 7), float(r)] for r in range(4)],
+                      axis=0)
+    for r in results:
+        np.testing.assert_allclose(r, expected)
+
+
+def test_unknown_allreduce_algorithm_rejected(cluster):
+    def fn(ep):
+        with pytest.raises(ValueError):
+            yield from ep.allreduce(np.ones(4), algorithm="butterfly")
+        return True
+
+    assert all(run_spmd(cluster, 2, fn))

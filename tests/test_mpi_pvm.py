@@ -1,0 +1,310 @@
+"""MPI and PVM layer tests, including collectives."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster
+from repro.upper.job import run_spmd
+
+from tests.conftest import run_procs
+
+
+@pytest.fixture
+def four_node_cluster():
+    return Cluster(n_nodes=4)
+
+
+# ------------------------------------------------------------------ MPI p2p
+def test_mpi_send_recv(cluster):
+    def fn(ep):
+        buf = ep.alloc(1024)
+        if ep.rank == 0:
+            ep.proc.write(buf, b"m" * 1024)
+            yield from ep.send(1, buf, 1024, tag=3)
+            return None
+        status = yield from ep.recv(0, 3, buf, 1024)
+        assert status.length == 1024
+        return ep.proc.read(buf, 1024)
+
+    results = run_spmd(cluster, 2, fn)
+    assert results[1] == b"m" * 1024
+
+
+def test_mpi_isend_irecv_wait(cluster):
+    def fn(ep):
+        buf = ep.alloc(256)
+        if ep.rank == 0:
+            ep.proc.write(buf, b"n" * 256)
+            op = yield from ep.isend(1, buf, 256, tag=0)
+            yield from ep.wait(op)
+            return None
+        op = yield from ep.irecv(0, 0, buf, 256)
+        status = yield from ep.wait(op)
+        assert status.length == 256
+        return ep.proc.read(buf, 256)
+
+    results = run_spmd(cluster, 2, fn)
+    assert results[1] == b"n" * 256
+
+
+def test_mpi_sendrecv_exchange(cluster):
+    def fn(ep):
+        peer = 1 - ep.rank
+        sbuf, rbuf = ep.alloc(128), ep.alloc(128)
+        ep.proc.write(sbuf, bytes([ep.rank + 65]) * 128)
+        yield from ep.sendrecv(peer, sbuf, 128, peer, rbuf, 128, tag=4)
+        return ep.proc.read(rbuf, 128)
+
+    results = run_spmd(cluster, 2, fn)
+    assert results[0] == b"B" * 128
+    assert results[1] == b"A" * 128
+
+
+def test_mpi_array_roundtrip(cluster):
+    array = np.linspace(0.0, 1.0, 1000)
+
+    def fn(ep):
+        if ep.rank == 0:
+            yield from ep.send_array(1, array, tag=8)
+            return None
+        out = yield from ep.recv_array(0, 8, np.float64, (1000,))
+        return out
+
+    results = run_spmd(cluster, 2, fn)
+    np.testing.assert_allclose(results[1], array)
+
+
+# -------------------------------------------------------------- collectives
+@pytest.mark.parametrize("n_ranks", [2, 3, 4, 5])
+def test_mpi_barrier_synchronises(four_node_cluster, n_ranks):
+    arrivals = {}
+
+    def fn(ep):
+        env = ep.port.env
+        # stagger arrival
+        yield env.timeout(ep.rank * 50_000)
+        yield from ep.barrier()
+        arrivals[ep.rank] = env.now
+        return None
+
+    run_spmd(four_node_cluster, n_ranks, fn)
+    times = [arrivals[r] for r in range(n_ranks)]
+    # nobody leaves the barrier before the last arrival (rank n-1 at
+    # (n-1)*50us)
+    assert min(times) >= (n_ranks - 1) * 50_000
+
+
+@pytest.mark.parametrize("n_ranks,root", [(2, 0), (4, 0), (4, 2), (5, 3)])
+def test_mpi_bcast(four_node_cluster, n_ranks, root):
+    n = 2048
+
+    def fn(ep):
+        buf = ep.alloc(n)
+        if ep.rank == root:
+            ep.proc.write(buf, bytes((root + j) % 256 for j in range(n)))
+        yield from ep.bcast(buf, n, root=root)
+        return ep.proc.read(buf, n)
+
+    results = run_spmd(four_node_cluster, n_ranks, fn)
+    expected = bytes((root + j) % 256 for j in range(n))
+    assert all(r == expected for r in results)
+
+
+@pytest.mark.parametrize("op,expected_fn", [
+    ("sum", lambda vals: np.sum(vals, axis=0)),
+    ("max", lambda vals: np.max(vals, axis=0)),
+    ("min", lambda vals: np.min(vals, axis=0)),
+    ("prod", lambda vals: np.prod(vals, axis=0)),
+])
+def test_mpi_reduce_ops(four_node_cluster, op, expected_fn):
+    n_ranks = 4
+
+    def fn(ep):
+        local = np.arange(10, dtype=np.float64) + ep.rank + 1
+        result = yield from ep.reduce(local, op=op, root=0)
+        return result
+
+    results = run_spmd(four_node_cluster, n_ranks, fn)
+    contributions = [np.arange(10, dtype=np.float64) + r + 1
+                     for r in range(n_ranks)]
+    np.testing.assert_allclose(results[0], expected_fn(contributions))
+    assert all(r is None for r in results[1:])
+
+
+@pytest.mark.parametrize("n_ranks", [2, 3, 4])
+def test_mpi_allreduce(four_node_cluster, n_ranks):
+    def fn(ep):
+        local = np.full(16, float(ep.rank + 1))
+        result = yield from ep.allreduce(local, op="sum")
+        return result
+
+    results = run_spmd(four_node_cluster, n_ranks, fn)
+    expected = np.full(16, float(sum(range(1, n_ranks + 1))))
+    for r in results:
+        np.testing.assert_allclose(r, expected)
+
+
+def test_mpi_gather_scatter(four_node_cluster):
+    n_ranks, n = 4, 512
+
+    def fn(ep):
+        buf = ep.alloc(n)
+        ep.proc.write(buf, bytes([ep.rank]) * n)
+        blocks = yield from ep.gather(buf, n, root=0)
+        if ep.rank == 0:
+            assert blocks == [bytes([r]) * n for r in range(n_ranks)]
+            out_blocks = [bytes([r + 100]) * n for r in range(n_ranks)]
+        else:
+            out_blocks = None
+        yield from ep.scatter(out_blocks, buf, n, root=0)
+        return ep.proc.read(buf, n)
+
+    results = run_spmd(four_node_cluster, n_ranks, fn)
+    assert results == [bytes([r + 100]) * n for r in range(n_ranks)]
+
+
+@pytest.mark.parametrize("n_ranks", [2, 4, 5])
+def test_mpi_allgather(four_node_cluster, n_ranks):
+    n = 256
+
+    def fn(ep):
+        buf = ep.alloc(n)
+        ep.proc.write(buf, bytes([ep.rank + 1]) * n)
+        blocks = yield from ep.allgather(buf, n)
+        return blocks
+
+    results = run_spmd(four_node_cluster, n_ranks, fn)
+    expected = [bytes([r + 1]) * n for r in range(n_ranks)]
+    for blocks in results:
+        assert blocks == expected
+
+
+@pytest.mark.parametrize("n_ranks", [2, 3, 4])
+def test_mpi_alltoall(four_node_cluster, n_ranks):
+    n = 128
+
+    def fn(ep):
+        blocks = [bytes([ep.rank * 10 + dst]) * n for dst in range(n_ranks)]
+        out = yield from ep.alltoall(blocks, n)
+        return out
+
+    results = run_spmd(four_node_cluster, n_ranks, fn)
+    for rank, out in enumerate(results):
+        assert out == [bytes([src * 10 + rank]) * n
+                       for src in range(n_ranks)]
+
+
+def test_mpi_large_collective_rendezvous(four_node_cluster):
+    """Broadcast big enough to use the rendezvous path on every hop."""
+    n = four_node_cluster.cfg.eadi_segment_bytes * 2 + 99
+
+    def fn(ep):
+        buf = ep.alloc(n)
+        if ep.rank == 0:
+            ep.proc.write(buf, bytes(j % 251 for j in range(n)))
+        yield from ep.bcast(buf, n, root=0)
+        return ep.proc.read(buf, n)
+
+    results = run_spmd(four_node_cluster, 4, fn)
+    expected = bytes(j % 251 for j in range(n))
+    assert all(r == expected for r in results)
+
+
+# --------------------------------------------------------------------- PVM
+def test_pvm_pack_send_recv_unpack(cluster):
+    def fn(task):
+        if task.rank == 0:
+            task.initsend()
+            yield from task.pack_int(42, -7)
+            yield from task.pack_double(3.25)
+            yield from task.pack_bytes(b"hello pvm")
+            yield from task.send(1, msgtag=11)
+            return None
+        src, tag, _length = yield from task.recv(0, 11)
+        assert (src, tag) == (0, 11)
+        ints = yield from task.upk_int(2)
+        dbl = yield from task.upk_double()
+        blob = yield from task.upk_bytes()
+        return (ints, dbl, blob)
+
+    results = run_spmd(cluster, 2, fn, layer="pvm")
+    assert results[1] == ([42, -7], 3.25, b"hello pvm")
+
+
+def test_pvm_array_roundtrip(cluster):
+    array = np.arange(500, dtype=np.int64)
+
+    def fn(task):
+        if task.rank == 0:
+            task.initsend()
+            yield from task.pack_array(array)
+            yield from task.send(1, msgtag=2)
+            return None
+        yield from task.recv(0, 2)
+        out = yield from task.upk_array(np.int64, (500,))
+        return out
+
+    results = run_spmd(cluster, 2, fn, layer="pvm")
+    np.testing.assert_array_equal(results[1], array)
+
+
+def test_pvm_wildcard_recv(cluster):
+    def fn(task):
+        if task.rank == 0:
+            task.initsend()
+            yield from task.pack_int(99)
+            yield from task.send(1, msgtag=55)
+            return None
+        src, tag, _ = yield from task.recv()   # any source, any tag
+        value = yield from task.upk_int()
+        return (src, tag, value)
+
+    results = run_spmd(cluster, 2, fn, layer="pvm")
+    assert results[1] == (0, 55, 99)
+
+
+def test_pvm_unpack_overrun_rejected(cluster):
+    from repro.kernel.errors import BclError
+
+    def fn(task):
+        if task.rank == 0:
+            task.initsend()
+            yield from task.pack_int(1)
+            yield from task.send(1, msgtag=0)
+            return None
+        yield from task.recv(0, 0)
+        yield from task.upk_int()
+        with pytest.raises(BclError):
+            yield from task.upk_int()
+        return True
+
+    results = run_spmd(cluster, 2, fn, layer="pvm")
+    assert results[1] is True
+
+
+def test_pvm_collectives_work_too(four_node_cluster):
+    def fn(task):
+        local = np.full(8, float(task.rank))
+        result = yield from task.allreduce(local, op="sum")
+        return result
+
+    results = run_spmd(four_node_cluster, 3, fn, layer="pvm")
+    for r in results:
+        np.testing.assert_allclose(r, np.full(8, 3.0))
+
+
+def test_mixed_placement_intra_and_inter(four_node_cluster):
+    """Ranks packed two-per-node: collectives cross both transports."""
+    n_ranks = 4
+    placement = [0, 0, 1, 1]
+
+    def fn(ep):
+        local = np.array([float(ep.rank + 1)])
+        result = yield from ep.allreduce(local, op="sum")
+        return float(result[0])
+
+    results = run_spmd(four_node_cluster, n_ranks, fn,
+                       placement=placement)
+    assert results == [10.0] * n_ranks

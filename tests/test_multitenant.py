@@ -1,0 +1,157 @@
+"""Multi-program isolation: the superserver scenario.
+
+"As superservers, clusters are being widely used in Internet service
+and database applications.  Multi-user and multiprogramming must be
+support, and security must be guaranteed."  Two independent
+applications share nodes, NICs and the fabric concurrently; each must
+see exactly its own traffic, and one application's failures must not
+touch the other.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bcl.api import BclLibrary
+from repro.cluster import Cluster
+from repro.firmware.packet import ChannelKind
+from repro.kernel.errors import BclSecurityError
+
+from tests.conftest import run_procs
+
+
+def make_app(cluster, app_id, port_base, n_messages, results):
+    """One application: a sender/receiver pair with its own ports."""
+
+    def receiver():
+        proc = cluster.spawn(1)
+        port = yield from BclLibrary(proc).create_port(port_base + 1)
+        buf = proc.alloc(4096)
+        seen = []
+        for _ in range(n_messages):
+            event = yield from port.wait_recv()
+            data = yield from port.recv_system(event)
+            seen.append(data[:2])
+        results[app_id] = seen
+
+    def sender():
+        proc = cluster.spawn(0)
+        port = yield from BclLibrary(proc).create_port(port_base)
+        from repro.bcl.address import BclAddress
+        dest = BclAddress(1, port_base + 1)
+        buf = proc.alloc(4096)
+        for i in range(n_messages):
+            proc.write(buf, bytes([app_id, i]) * 2048)
+            yield from port.send_system(dest, buf, 4096)
+            yield from port.wait_send()
+
+    return receiver, sender
+
+
+def test_two_applications_share_the_fabric_without_crosstalk():
+    cluster = Cluster(n_nodes=2)
+    results = {}
+    app_a = make_app(cluster, 1, 100, 6, results)
+    app_b = make_app(cluster, 2, 200, 6, results)
+    run_procs(cluster, app_a[0](), app_a[1](), app_b[0](), app_b[1]())
+    assert results[1] == [bytes([1, i]) for i in range(6)]
+    assert results[2] == [bytes([2, i]) for i in range(6)]
+
+
+def test_malicious_app_cannot_harm_neighbour():
+    """App B fires malformed requests while app A runs a clean
+    transfer; A must complete bit-exact and B's process must be the
+    only thing that sees errors."""
+    cluster = Cluster(n_nodes=2)
+    payload = bytes((5 * i) % 256 for i in range(30000))
+    got = {}
+
+    def victim_receiver():
+        proc = cluster.spawn(1)
+        port = yield from BclLibrary(proc).create_port(10)
+        buf = proc.alloc(len(payload))
+        yield from port.post_recv(0, buf, len(payload))
+        got["addr"] = port.address
+        yield from port.wait_recv()
+        got["data"] = proc.read(buf, len(payload))
+
+    def victim_sender():
+        proc = cluster.spawn(0)
+        port = yield from BclLibrary(proc).create_port(11)
+        while "addr" not in got:
+            yield cluster.env.timeout(500)
+        buf = proc.alloc(len(payload))
+        proc.write(buf, payload)
+        dest = got["addr"].with_channel(ChannelKind.NORMAL, 0)
+        yield from port.send(dest, buf, len(payload))
+
+    def attacker():
+        proc = cluster.spawn(0)
+        port = yield from BclLibrary(proc).create_port(66)
+        from repro.bcl.address import BclAddress
+        rejections = 0
+        for _ in range(10):
+            for bad in (
+                    lambda: port.send(BclAddress(77, 1), 0xBAD, 64),
+                    lambda: port.send(
+                        BclAddress(1, 10, ChannelKind.NORMAL, 1 << 22),
+                        0xBAD, 64),
+                    lambda: port.post_recv(0, 0xDEAD, -4),
+            ):
+                try:
+                    yield from bad()
+                except (BclSecurityError, ValueError):
+                    rejections += 1
+            yield cluster.env.timeout(2000)
+        got["rejections"] = rejections
+
+    run_procs(cluster, victim_receiver(), victim_sender(), attacker())
+    assert got["data"] == payload
+    assert got["rejections"] == 30
+    # Kernel structures intact on both nodes: pindown balanced, no
+    # leftover ring entries beyond the victim's traffic.
+    for node in cluster.nodes:
+        assert len(node.kernel.pindown) < 64
+
+
+def test_port_namespace_is_per_node():
+    """The same port number may exist on different nodes (addressing is
+    the (node, port) pair)."""
+    cluster = Cluster(n_nodes=2)
+
+    def on_node(node_id):
+        proc = cluster.spawn(node_id)
+        port = yield from BclLibrary(proc).create_port(42)
+        return port.address.process_id
+
+    results = run_procs(cluster, on_node(0), on_node(1))
+    assert results == [(0, 42), (1, 42)]
+
+
+def test_concurrent_apps_both_architectures_of_traffic():
+    """An MPI job and a raw-BCL service coexist on the same two nodes."""
+    import numpy as np
+    from repro.upper.job import Job
+
+    cluster = Cluster(n_nodes=2)
+    env = cluster.env
+    got = {}
+
+    # Raw BCL service pair on ports 300/301.
+    service = make_app(cluster, 9, 300, 4, got)
+
+    # MPI job (ports 100+).
+    job = Job(cluster, 2, layer="mpi")
+
+    def rank_main(rank):
+        ep = yield from job.start_rank(rank)
+        while len(job.endpoints) < 2:
+            yield env.timeout(1000)
+        result = yield from ep.allreduce(np.full(4, rank + 1.0), op="sum")
+        return float(result[0])
+
+    procs = [env.process(service[0]()), env.process(service[1]()),
+             env.process(rank_main(0)), env.process(rank_main(1))]
+    env.run(until=env.all_of(procs))
+    assert got[9] == [bytes([9, i]) for i in range(4)]
+    assert procs[2].value == procs[3].value == 3.0

@@ -1,0 +1,141 @@
+"""Process spawn/exit lifecycle: resource cleanup on every layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bcl.api import BclLibrary
+from repro.cluster import Cluster
+from repro.firmware.packet import ChannelKind
+
+from tests.conftest import run_procs
+
+
+def test_spawn_assigns_round_robin_cpus(cluster):
+    node = cluster.node(0)
+    procs = [node.spawn_process() for _ in range(6)]
+    names = [p.cpu.name for p in procs]
+    assert names[0] != names[1]
+    assert names[0] == names[4]   # wraps around 4 CPUs
+
+
+def test_spawn_duplicate_pid_rejected(cluster):
+    node = cluster.node(0)
+    node.spawn_process(pid=42)
+    with pytest.raises(ValueError):
+        node.spawn_process(pid=42)
+
+
+def test_exit_unknown_pid_rejected(cluster):
+    with pytest.raises(ValueError):
+        cluster.node(0).exit_process(12345)
+
+
+def test_exit_process_releases_pindown_entries(cluster):
+    node = cluster.node(0)
+    proc = node.spawn_process()
+    buf = proc.alloc(3 * 4096)
+    node.kernel.pindown.lookup(proc.space, buf, 3 * 4096)
+    assert len(node.kernel.pindown) == 3
+    assert proc.space.pinned_pages == 3
+    node.exit_process(proc.pid)
+    assert len(node.kernel.pindown) == 0
+    assert proc.space.pinned_pages == 0
+
+
+def test_exit_process_tears_down_shm_rings():
+    cluster = Cluster(n_nodes=1)
+    node = cluster.node(0)
+    ctx = {}
+
+    def starter():
+        a, b = cluster.spawn(0), cluster.spawn(0)
+        port_a = yield from BclLibrary(a).create_port(1)
+        port_b = yield from BclLibrary(b).create_port(2)
+        buf = a.alloc(16)
+        a.write(buf, b"x" * 16)
+        yield from port_a.send_system(port_b.address, buf, 16)
+        ctx.update(a=a, b=b)
+
+    run_procs(cluster, starter())
+    assert node.kernel.shm.has_ring(ctx["a"].pid, ctx["b"].pid)
+    frames_before = node.allocator.free_frames
+    node.exit_process(ctx["a"].pid)
+    assert not node.kernel.shm.has_ring(ctx["a"].pid, ctx["b"].pid)
+    assert node.allocator.free_frames > frames_before  # ring frames freed
+
+
+def test_exit_process_invalidates_nic_tlb():
+    cluster = Cluster(n_nodes=2, architecture="user_level")
+    node = cluster.node(0)
+    proc = node.spawn_process()
+    mcp = cluster.mcps[0]
+    mcp.tlb._insert((proc.pid, 0x100), 5)
+    mcp.tlb._insert((999, 0x200), 6)
+    node.exit_process(proc.pid)
+    assert (proc.pid, 0x100) not in mcp.tlb._entries
+    assert (999, 0x200) in mcp.tlb._entries
+
+
+def test_packets_for_closed_port_dropped_silently(cluster):
+    """Messages in flight when the receiver closes its port vanish
+    without corrupting anything."""
+    from tests.test_bcl_channels import setup_pair
+    ctx = setup_pair(cluster)
+
+    def close_then_send():
+        proc = ctx["p0"]
+        buf = proc.alloc(64)
+        proc.write(buf, b"late" * 16)
+        # Receiver closes first.
+        yield from ctx["port1"].close()
+        yield from ctx["port0"].send_system(
+            ctx["port1"].address, buf, 64)
+        yield from ctx["port0"].wait_send()
+
+    def closer():
+        yield cluster.env.timeout(0)
+
+    run_procs(cluster, close_then_send())
+    cluster.env.run()
+    assert 2 not in cluster.node(1).nic.ports
+
+
+def test_port_recreation_after_close(cluster):
+    """A process may open a new port after closing... but BCL's
+    one-port rule applies to the *library instance* lifetime: a fresh
+    library (process restart) can reuse the port id."""
+    def flow():
+        proc = cluster.spawn(0)
+        lib = BclLibrary(proc)
+        port = yield from lib.create_port(9)
+        yield from port.close()
+        proc2 = cluster.spawn(0)
+        lib2 = BclLibrary(proc2)
+        port2 = yield from lib2.create_port(9)   # id 9 free again
+        assert port2.port_id == 9
+
+    run_procs(cluster, flow())
+
+
+def test_exit_process_reclaims_open_ports(cluster):
+    ctx = {}
+
+    def starter():
+        proc = cluster.spawn(0)
+        port = yield from BclLibrary(proc).create_port(7)
+        ctx["proc"] = proc
+
+    run_procs(cluster, starter())
+    node = cluster.node(0)
+    assert 7 in node.nic.ports
+    node.exit_process(ctx["proc"].pid)
+    assert 7 not in node.nic.ports
+    assert 7 not in node.bcl_ports
+    # The port id (and the one-port slot) is reusable afterwards.
+    def reuse():
+        proc = cluster.spawn(0)
+        port = yield from BclLibrary(proc).create_port(7)
+        assert port.port_id == 7
+
+    run_procs(cluster, reuse())

@@ -1,0 +1,111 @@
+"""Property-based collective correctness vs numpy references.
+
+Each example spins a small simulated cluster, so the example counts are
+kept low; determinism means failures replay exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import Cluster
+from repro.upper.job import run_spmd
+
+_SETTINGS = dict(max_examples=6, deadline=None)
+
+
+def _values(n_ranks: int, length: int, seed: int) -> list[np.ndarray]:
+    rng = np.random.default_rng(seed)
+    return [rng.integers(-50, 50, size=length).astype(np.float64)
+            for _ in range(n_ranks)]
+
+
+@settings(**_SETTINGS)
+@given(n_ranks=st.integers(min_value=2, max_value=5),
+       length=st.integers(min_value=1, max_value=32),
+       op=st.sampled_from(["sum", "max", "min"]),
+       seed=st.integers(min_value=0, max_value=999))
+def test_allreduce_matches_numpy(n_ranks, length, op, seed):
+    contributions = _values(n_ranks, length, seed)
+    cluster = Cluster(n_nodes=min(n_ranks, 4))
+
+    def fn(ep):
+        result = yield from ep.allreduce(contributions[ep.rank], op=op)
+        return result
+
+    results = run_spmd(cluster, n_ranks, fn,
+                       placement=[r % len(cluster.nodes)
+                                  for r in range(n_ranks)])
+    expected = {"sum": np.sum, "max": np.max,
+                "min": np.min}[op](contributions, axis=0)
+    for result in results:
+        np.testing.assert_allclose(result, expected)
+
+
+@settings(**_SETTINGS)
+@given(n_ranks=st.integers(min_value=2, max_value=5),
+       root=st.data(),
+       nbytes=st.integers(min_value=1, max_value=4096),
+       seed=st.integers(min_value=0, max_value=999))
+def test_bcast_any_root_any_size(n_ranks, root, nbytes, seed):
+    root = root.draw(st.integers(min_value=0, max_value=n_ranks - 1))
+    rng = np.random.default_rng(seed)
+    payload = rng.integers(0, 256, size=nbytes).astype(np.uint8).tobytes()
+    cluster = Cluster(n_nodes=min(n_ranks, 4))
+
+    def fn(ep):
+        buf = ep.alloc(nbytes)
+        if ep.rank == root:
+            ep.proc.write(buf, payload)
+        yield from ep.bcast(buf, nbytes, root=root)
+        return ep.proc.read(buf, nbytes)
+
+    results = run_spmd(cluster, n_ranks, fn,
+                       placement=[r % len(cluster.nodes)
+                                  for r in range(n_ranks)])
+    assert all(r == payload for r in results)
+
+
+@settings(**_SETTINGS)
+@given(n_ranks=st.integers(min_value=2, max_value=4),
+       length=st.integers(min_value=1, max_value=16),
+       seed=st.integers(min_value=0, max_value=999))
+def test_scan_matches_cumulative_numpy(n_ranks, length, seed):
+    contributions = _values(n_ranks, length, seed)
+    cluster = Cluster(n_nodes=min(n_ranks, 4))
+
+    def fn(ep):
+        result = yield from ep.scan(contributions[ep.rank], op="sum")
+        return result
+
+    results = run_spmd(cluster, n_ranks, fn,
+                       placement=[r % len(cluster.nodes)
+                                  for r in range(n_ranks)])
+    running = np.zeros(length)
+    for rank, result in enumerate(results):
+        running = running + contributions[rank]
+        np.testing.assert_allclose(result, running)
+
+
+@settings(**_SETTINGS)
+@given(n_ranks=st.integers(min_value=2, max_value=4),
+       nbytes=st.integers(min_value=1, max_value=512),
+       seed=st.integers(min_value=0, max_value=999))
+def test_alltoall_permutes_blocks_correctly(n_ranks, nbytes, seed):
+    rng = np.random.default_rng(seed)
+    blocks = {(src, dst): rng.integers(0, 256, size=nbytes)
+              .astype(np.uint8).tobytes()
+              for src in range(n_ranks) for dst in range(n_ranks)}
+    cluster = Cluster(n_nodes=min(n_ranks, 4))
+
+    def fn(ep):
+        mine = [blocks[(ep.rank, dst)] for dst in range(n_ranks)]
+        out = yield from ep.alltoall(mine, nbytes)
+        return out
+
+    results = run_spmd(cluster, n_ranks, fn,
+                       placement=[r % len(cluster.nodes)
+                                  for r in range(n_ranks)])
+    for dst, out in enumerate(results):
+        assert out == [blocks[(src, dst)] for src in range(n_ranks)]

@@ -1,0 +1,189 @@
+"""Security/failure-injection tests: the kernel safeguard mechanism.
+
+Paper section 4.2: "With this safeguard mechanism BCL assures all
+processes using it will safely send and receive messages, never destroy
+kernel data structures."  Every rejected request must leave kernel and
+NIC state unchanged.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bcl.address import BclAddress
+from repro.bcl.api import BclLibrary
+from repro.firmware.packet import ChannelKind
+from repro.kernel.errors import BclSecurityError
+from repro.kernel.security import MAX_MESSAGE_BYTES, SecurityValidator
+
+from tests.conftest import run_procs
+from tests.test_bcl_channels import setup_pair
+
+
+def kernel_state_snapshot(cluster):
+    k0 = cluster.node(0).kernel
+    return (len(k0.pindown), cluster.node(0).nic.ring_occupancy,
+            sorted(cluster.node(0).nic.ports))
+
+
+def test_send_from_unmapped_buffer_rejected(cluster):
+    ctx = setup_pair(cluster)
+
+    def sender():
+        before = kernel_state_snapshot(cluster)
+        dest = ctx["port1"].address.with_channel(ChannelKind.NORMAL, 0)
+        with pytest.raises(BclSecurityError):
+            yield from ctx["port0"].send(dest, 0xDEAD0000, 64)
+        assert kernel_state_snapshot(cluster) == before
+
+    run_procs(cluster, sender())
+
+
+def test_send_past_end_of_buffer_rejected(cluster):
+    ctx = setup_pair(cluster)
+
+    def sender():
+        proc = ctx["p0"]
+        buf = proc.alloc(4096)
+        dest = ctx["port1"].address.with_channel(ChannelKind.NORMAL, 0)
+        with pytest.raises(BclSecurityError):
+            yield from ctx["port0"].send(dest, buf, 4096 * 3)
+
+    run_procs(cluster, sender())
+
+
+def test_send_to_nonexistent_node_rejected(cluster):
+    ctx = setup_pair(cluster)
+
+    def sender():
+        proc = ctx["p0"]
+        buf = proc.alloc(64)
+        dest = BclAddress(99, 2, ChannelKind.NORMAL, 0)
+        with pytest.raises(BclSecurityError):
+            yield from ctx["port0"].send(dest, buf, 64)
+
+    run_procs(cluster, sender())
+
+
+def test_send_on_foreign_port_rejected(cluster):
+    """A process cannot issue sends through another process's port."""
+    ctx = setup_pair(cluster, same_node=True) if False else setup_pair(cluster)
+
+    def intruder():
+        proc = cluster.spawn(0)          # third process, no port
+        lib = BclLibrary(proc)
+        dest = ctx["port1"].address.with_channel(ChannelKind.NORMAL, 0)
+        buf = proc.alloc(64)
+        with pytest.raises(BclSecurityError):
+            yield from cluster.node(0).kernel.syscall(
+                proc, "bcl_send",
+                lib.module.post_send(proc, ctx["port0"].port_id, dest,
+                                     buf, 64, message_id=999))
+
+    run_procs(cluster, intruder())
+
+
+def test_oversized_message_rejected(cluster):
+    ctx = setup_pair(cluster)
+
+    def sender():
+        proc = ctx["p0"]
+        buf = proc.alloc(4096)
+        dest = ctx["port1"].address.with_channel(ChannelKind.NORMAL, 0)
+        with pytest.raises(BclSecurityError):
+            yield from ctx["port0"].send(dest, buf, MAX_MESSAGE_BYTES + 1)
+
+    run_procs(cluster, sender())
+
+
+def test_post_recv_bad_channel_index_rejected(cluster):
+    ctx = setup_pair(cluster)
+
+    def receiver():
+        proc = ctx["p1"]
+        buf = proc.alloc(64)
+        with pytest.raises(BclSecurityError):
+            yield from ctx["port1"].post_recv(4096, buf, 64)
+
+    run_procs(cluster, receiver())
+
+
+def test_post_recv_unmapped_buffer_rejected(cluster):
+    ctx = setup_pair(cluster)
+
+    def receiver():
+        with pytest.raises(BclSecurityError):
+            yield from ctx["port1"].post_recv(0, 0x42, 64)
+
+    run_procs(cluster, receiver())
+
+
+def test_rejected_requests_charge_trap_costs(cluster):
+    """A failing ioctl still crosses the kernel boundary twice."""
+    ctx = setup_pair(cluster)
+    times = {}
+
+    def sender():
+        env = cluster.env
+        t0 = env.now
+        dest = ctx["port1"].address.with_channel(ChannelKind.NORMAL, 0)
+        try:
+            yield from ctx["port0"].send(dest, 0xBAD, 64)
+        except BclSecurityError:
+            pass
+        times["elapsed_ns"] = env.now - t0
+
+    run_procs(cluster, sender())
+    cfg = cluster.cfg
+    floor_us = (cfg.compose_us + cfg.trap_enter_us + cfg.security_check_us
+                + cfg.trap_exit_us)
+    assert times["elapsed_ns"] >= floor_us * 1000 * 0.99
+
+
+def test_kernel_survives_many_malicious_requests(cluster):
+    """Fuzz-ish: a burst of bad requests corrupts nothing; a good send
+    still works afterwards."""
+    ctx = setup_pair(cluster)
+    bad_requests = [
+        (0xDEAD0000, 64, BclAddress(1, 2, ChannelKind.NORMAL, 0)),
+        (0, -1, BclAddress(1, 2, ChannelKind.NORMAL, 0)),
+        (0, 64, BclAddress(-1 & 0xFF, 2, ChannelKind.NORMAL, 0)),
+        (0, 64, BclAddress(1, 2 ** 20, ChannelKind.NORMAL, 0)),
+        (0, 64, BclAddress(1, 2, ChannelKind.NORMAL, 2 ** 20)),
+    ]
+    got = {}
+
+    def receiver():
+        proc = ctx["p1"]
+        buf = proc.alloc(64)
+        yield from ctx["port1"].post_recv(0, buf, 64)
+        yield from ctx["port1"].wait_recv()
+        got["data"] = proc.read(buf, 64)
+
+    def attacker_then_sender():
+        proc = ctx["p0"]
+        good = proc.alloc(64)
+        proc.write(good, b"G" * 64)
+        for vaddr, nbytes, dest in bad_requests:
+            with pytest.raises((BclSecurityError, ValueError)):
+                use_vaddr = good if vaddr == 0 else vaddr
+                yield from ctx["port0"].send(dest, use_vaddr, nbytes)
+        dest = ctx["port1"].address.with_channel(ChannelKind.NORMAL, 0)
+        yield from ctx["port0"].send(dest, good, 64)
+
+    run_procs(cluster, receiver(), attacker_then_sender())
+    assert got["data"] == b"G" * 64
+
+
+def test_validator_pid_forgery():
+    validator = SecurityValidator(n_nodes=4)
+    with pytest.raises(BclSecurityError):
+        validator.check_caller(claimed_pid=1, actual_pid=2)
+    validator.check_caller(claimed_pid=3, actual_pid=3)
+
+
+def test_validator_channel_kind_restriction():
+    validator = SecurityValidator(n_nodes=4)
+    with pytest.raises(BclSecurityError):
+        validator.check_channel_kind(ChannelKind.SYSTEM,
+                                     allowed=(ChannelKind.NORMAL,))

@@ -1,0 +1,168 @@
+"""Unit tests for Resource and Store."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import Environment, Resource, SimulationError, Store
+
+
+def test_resource_grants_up_to_capacity(env):
+    res = Resource(env, capacity=2)
+    r1, r2, r3 = res.request(), res.request(), res.request()
+    env.run()
+    assert r1.processed and r2.processed
+    assert not r3.triggered
+    assert res.count == 2
+    assert res.queue_length == 1
+
+
+def test_resource_fifo_handoff(env):
+    res = Resource(env, capacity=1)
+    order = []
+
+    def user(name, hold):
+        with res.request() as req:
+            yield req
+            order.append((name, env.now))
+            yield env.timeout(hold)
+
+    env.process(user("a", 10))
+    env.process(user("b", 10))
+    env.process(user("c", 10))
+    env.run()
+    assert order == [("a", 0), ("b", 10), ("c", 20)]
+
+
+def test_resource_release_unqueued_request_is_error(env):
+    res = Resource(env, capacity=1)
+    other = Resource(env, capacity=1)
+    req = other.request()
+    env.run()
+    with pytest.raises(SimulationError):
+        res.release(req)
+
+
+def test_resource_release_waiting_request_cancels(env):
+    res = Resource(env, capacity=1)
+    held = res.request()
+    waiting = res.request()
+    res.release(waiting)          # give up the queue slot
+    assert res.queue_length == 0
+    res.release(held)
+    env.run()
+    assert res.count == 0
+
+
+def test_resource_invalid_capacity(env):
+    with pytest.raises(SimulationError):
+        Resource(env, capacity=0)
+
+
+def test_store_fifo_order(env):
+    store = Store(env)
+    for i in range(3):
+        store.put(i)
+    got = []
+
+    def getter():
+        for _ in range(3):
+            item = yield store.get()
+            got.append(item)
+
+    env.process(getter())
+    env.run()
+    assert got == [0, 1, 2]
+
+
+def test_store_get_blocks_until_put(env):
+    store = Store(env)
+    got = []
+
+    def getter():
+        item = yield store.get()
+        got.append((env.now, item))
+
+    def putter():
+        yield env.timeout(40)
+        yield store.put("x")
+
+    env.process(getter())
+    env.process(putter())
+    env.run()
+    assert got == [(40, "x")]
+
+
+def test_store_capacity_blocks_put(env):
+    store = Store(env, capacity=1)
+    times = []
+
+    def putter():
+        yield store.put("a")
+        times.append(env.now)
+        yield store.put("b")
+        times.append(env.now)
+
+    def slow_getter():
+        yield env.timeout(100)
+        yield store.get()
+
+    env.process(putter())
+    env.process(slow_getter())
+    env.run()
+    assert times == [0, 100]
+
+
+def test_store_try_put_drops_on_full(env):
+    store = Store(env, capacity=2)
+    assert store.try_put(1)
+    assert store.try_put(2)
+    assert not store.try_put(3)
+    assert len(store) == 2
+
+
+def test_store_try_put_hands_to_waiting_getter(env):
+    store = Store(env, capacity=1)
+    got = []
+
+    def getter():
+        item = yield store.get()
+        got.append(item)
+
+    env.process(getter())
+    env.run()          # getter is now parked
+    assert store.try_put("direct")
+    env.run()
+    assert got == ["direct"]
+
+
+def test_store_try_get(env):
+    store = Store(env)
+    ok, item = store.try_get()
+    assert not ok and item is None
+    store.try_put(9)
+    ok, item = store.try_get()
+    assert ok and item == 9
+
+
+def test_store_peek(env):
+    store = Store(env)
+    with pytest.raises(SimulationError):
+        store.peek()
+    store.try_put("front")
+    store.try_put("back")
+    assert store.peek() == "front"
+    assert len(store) == 2
+
+
+def test_store_put_releases_blocked_putter_on_get(env):
+    store = Store(env, capacity=1)
+    store.try_put("first")
+    done = store.put("second")     # blocked
+    env.run()
+    assert not done.triggered
+    ok, item = store.try_get()
+    assert ok and item == "first"
+    env.run()
+    assert done.processed
+    assert store.peek() == "second"

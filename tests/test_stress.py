@@ -1,0 +1,145 @@
+"""Randomised (seeded, reproducible) stress schedules across the stack."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.upper.job import run_spmd
+
+
+def make_schedule(seed: int, n_ranks: int, n_messages: int, cfg):
+    """A deterministic random message plan: (src, dst, size, tag)."""
+    rng = random.Random(seed)
+    threshold = cfg.eadi_eager_threshold
+    sizes = [0, 1, 17, threshold - 1, threshold, threshold + 1,
+             3 * threshold, cfg.eadi_segment_bytes + 123]
+    plan = []
+    for i in range(n_messages):
+        src = rng.randrange(n_ranks)
+        dst = rng.choice([r for r in range(n_ranks) if r != src])
+        plan.append((src, dst, rng.choice(sizes), rng.randrange(4)))
+    return plan
+
+
+def payload_for(index: int, size: int) -> bytes:
+    return bytes((index * 37 + j) % 256 for j in range(size))
+
+
+@pytest.mark.parametrize("seed,n_ranks,placement", [
+    (1, 3, None),             # one rank per node
+    (2, 4, [0, 0, 1, 1]),     # mixed intra/inter
+    (3, 4, None),
+])
+def test_random_mpi_schedule_delivers_everything(seed, n_ranks, placement):
+    """Random sizes (straddling eager/rendezvous), random pairs, random
+    tags: every message arrives intact, matched by (src, tag, order)."""
+    cluster = Cluster(n_nodes=max(placement) + 1 if placement else n_ranks)
+    plan = make_schedule(seed, n_ranks, 16, cluster.cfg)
+    max_size = max(s for _, _, s, _ in plan)
+
+    def fn(ep):
+        proc = ep.proc
+        buf = proc.alloc(max(max_size, 1))
+        my_sends = [(i, dst, size, tag)
+                    for i, (src, dst, size, tag) in enumerate(plan)
+                    if src == ep.rank]
+        my_recvs = [(i, src, size, tag)
+                    for i, (src, dst, size, tag) in enumerate(plan)
+                    if dst == ep.rank]
+        failures = []
+
+        def sender():
+            sbuf = proc.alloc(max(max_size, 1))
+            for index, dst, size, tag in my_sends:
+                proc.write(sbuf, payload_for(index, size)) if size else None
+                # unique tag per message: tag base + plan index
+                yield from ep.send(dst, sbuf, size,
+                                   tag=tag * 1000 + index)
+
+        def receiver():
+            for index, src, size, tag in my_recvs:
+                status = yield from ep.recv(src, tag * 1000 + index, buf,
+                                            max(size, 1))
+                if status.length != size:
+                    failures.append((index, "length", status.length))
+                elif size and proc.read(buf, size) != payload_for(index,
+                                                                  size):
+                    failures.append((index, "payload", None))
+
+        env = ep.port.env
+        s = env.process(sender(), name=f"stress.send{ep.rank}")
+        r = env.process(receiver(), name=f"stress.recv{ep.rank}")
+        yield env.all_of([s, r])
+        return failures
+
+    results = run_spmd(cluster, n_ranks, fn, placement=placement,
+                       n_channels=16)
+    assert all(not f for f in results), results
+
+
+def test_many_small_messages_bidirectional_pairs():
+    """All-pairs chatter: every rank streams at every other rank
+    concurrently; totals must balance."""
+    n_ranks = 4
+    per_pair = 5
+    cluster = Cluster(n_nodes=n_ranks)
+
+    def fn(ep):
+        proc = ep.proc
+        buf = proc.alloc(64)
+        out_buf = proc.alloc(64)
+        received = {r: 0 for r in range(n_ranks) if r != ep.rank}
+
+        def sender():
+            for peer in received:
+                for i in range(per_pair):
+                    proc.write(out_buf, bytes([ep.rank, peer, i]) * 21
+                               + b"\0")
+                    yield from ep.send(peer, out_buf, 64,
+                                       tag=ep.rank * 100 + i)
+
+        def receiver():
+            for peer in received:
+                for i in range(per_pair):
+                    status = yield from ep.recv(peer, peer * 100 + i,
+                                                buf, 64)
+                    data = proc.read(buf, 3)
+                    assert data == bytes([peer, ep.rank, i])
+                    received[peer] += 1
+
+        env = ep.port.env
+        s = env.process(sender())
+        r = env.process(receiver())
+        yield env.all_of([s, r])
+        return sum(received.values())
+
+    results = run_spmd(cluster, n_ranks, fn)
+    assert results == [per_pair * (n_ranks - 1)] * n_ranks
+
+
+def test_interleaved_rendezvous_and_eager_same_pair(cluster):
+    """Alternating large (rendezvous) and tiny (eager) messages on one
+    pair must not reorder within a tag stream or corrupt each other."""
+    cfg = cluster.cfg
+    big = cfg.eadi_segment_bytes + 7
+    sizes = [big, 8, big, 8, 8, big]
+
+    def fn(ep):
+        proc = ep.proc
+        buf = proc.alloc(big)
+        if ep.rank == 0:
+            for i, size in enumerate(sizes):
+                proc.write(buf, payload_for(i, size))
+                yield from ep.send(1, buf, size, tag=i)
+            return None
+        out = []
+        for i, size in enumerate(sizes):
+            status = yield from ep.recv(0, i, buf, big)
+            out.append(proc.read(buf, size) == payload_for(i, size))
+        return out
+
+    results = run_spmd(cluster, 2, fn)
+    assert all(results[1])

@@ -1,0 +1,146 @@
+"""End-to-end BCL over every topology: the paper's portability claim.
+
+"Binary code written in BCL ... can run on any combination of networks
+supporting the BCL protocol.  Applications written in BCL need not be
+recompiled."  The same unmodified workload function runs over the
+single switch, the two-level switch tree, and the nwrc-style 2-D mesh.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bcl.api import BclLibrary
+from repro.cluster import Cluster
+from repro.firmware.packet import ChannelKind
+from repro.instrument.measure import measure_one_way
+from repro.sim import Store
+
+from tests.conftest import run_procs
+
+TOPOLOGIES = ["single_switch", "switch_tree", "mesh2d"]
+
+
+def exchange(cluster, src_node, dst_node, payload):
+    """The portable workload: identical for every fabric."""
+    env = cluster.env
+    ready: Store = Store(env)
+    got = {}
+
+    def receiver():
+        proc = cluster.spawn(dst_node)
+        port = yield from BclLibrary(proc).create_port()
+        buf = proc.alloc(max(len(payload), 1))
+        yield from port.post_recv(0, buf, len(payload))
+        ready.try_put(port.address)
+        yield from port.wait_recv()
+        got["data"] = proc.read(buf, len(payload))
+
+    def sender():
+        proc = cluster.spawn(src_node)
+        port = yield from BclLibrary(proc).create_port()
+        address = yield ready.get()
+        buf = proc.alloc(max(len(payload), 1))
+        proc.write(buf, payload)
+        dest = address.with_channel(ChannelKind.NORMAL, 0)
+        yield from port.send(dest, buf, len(payload))
+
+    run_procs(cluster, receiver(), sender())
+    return got["data"]
+
+
+@pytest.mark.parametrize("topology", TOPOLOGIES)
+def test_same_code_runs_on_every_fabric(topology):
+    n_nodes = 9
+    cluster = Cluster(n_nodes=n_nodes, topology=topology)
+    payload = bytes(i % 256 for i in range(10000))
+    assert exchange(cluster, 0, n_nodes - 1, payload) == payload
+
+
+@pytest.mark.parametrize("topology", TOPOLOGIES)
+def test_multifragment_transfer_every_fabric(topology):
+    cluster = Cluster(n_nodes=4, topology=topology)
+    payload = bytes((3 * i) % 256 for i in range(20000))
+    assert exchange(cluster, 1, 2, payload) == payload
+
+
+def test_latency_grows_with_hop_count_on_mesh():
+    """XY routing: more mesh hops -> proportionally more latency."""
+    lat = {}
+    for dst, label in ((1, "1 router"), (8, "corner to corner")):
+        cluster = Cluster(n_nodes=9, topology="mesh2d")
+        sample = measure_one_way(cluster, 0, repeats=2, warmup=1,
+                                 sender_node=0, receiver_node=dst)
+        lat[label] = sample.latency_us
+    assert lat["corner to corner"] > lat["1 router"]
+    # each extra router adds switch latency + propagation
+    cfg = Cluster(n_nodes=2).cfg
+    per_hop = cfg.switch_latency_us + cfg.link_propagation_us
+    hops_delta = 4  # (0,0)->(2,2) has 4 inter-router hops more... route
+    # lengths: node0->node1 = 2 routers, node0->node8 = 5 routers
+    expected_delta = 3 * per_hop
+    measured_delta = lat["corner to corner"] - lat["1 router"]
+    assert measured_delta == pytest.approx(expected_delta, rel=0.1)
+
+
+def test_tree_cross_leaf_slower_than_intra_leaf():
+    cluster = Cluster(n_nodes=14, topology="switch_tree")
+    same_leaf = measure_one_way(cluster, 0, repeats=2, warmup=1,
+                                sender_node=0, receiver_node=1).latency_us
+    cluster2 = Cluster(n_nodes=14, topology="switch_tree")
+    cross = measure_one_way(cluster2, 0, repeats=2, warmup=1,
+                            sender_node=0, receiver_node=8).latency_us
+    assert cross > same_leaf
+    cfg = cluster.cfg
+    # two extra switches + two extra links on the cross-leaf path
+    expected = 2 * (cfg.switch_latency_us + cfg.link_propagation_us)
+    assert cross - same_leaf == pytest.approx(expected, rel=0.1)
+
+
+def test_single_switch_latency_is_calibrated_baseline():
+    cluster = Cluster(n_nodes=2, topology="single_switch")
+    lat = measure_one_way(cluster, 0, repeats=2, warmup=1).latency_us
+    assert lat == pytest.approx(18.33, abs=0.05)
+
+
+@pytest.mark.parametrize("topology,n", [("switch_tree", 10), ("mesh2d", 6)])
+def test_all_pairs_exchange_small(topology, n):
+    """Every ordered pair can communicate (routing completeness, with
+    data, not just route tables)."""
+    cluster = Cluster(n_nodes=n, topology=topology)
+    env = cluster.env
+    ports = {}
+    procs = {}
+
+    def setup(node):
+        proc = cluster.spawn(node)
+        port = yield from BclLibrary(proc).create_port()
+        ports[node] = port
+        procs[node] = proc
+
+    run_procs(cluster, *[setup(i) for i in range(n)])
+    received = []
+
+    def receiver(node, expect):
+        port = ports[node]
+        for _ in range(expect):
+            event = yield from port.wait_recv()
+            data = yield from port.recv_system(event)
+            received.append((data[0], node))
+
+    def sender(node):
+        proc = procs[node]
+        port = ports[node]
+        buf = proc.alloc(8)
+        proc.write(buf, bytes([node]) * 8)
+        for dst in range(n):
+            if dst != node:
+                yield from port.send_system(ports[dst].address, buf, 8)
+                yield from port.wait_send()
+
+    run_procs(cluster,
+              *[receiver(i, n - 1) for i in range(n)],
+              *[sender(i) for i in range(n)])
+    assert sorted(received) == sorted((src, dst)
+                                      for src in range(n)
+                                      for dst in range(n) if src != dst)

@@ -1,0 +1,99 @@
+"""Workload kernel tests: streaming, hotspot, and the three app kernels."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster
+from repro.workloads import (
+    measure_hotspot,
+    measure_streaming_bandwidth,
+    run_kv_store,
+    run_request_service,
+    run_stencil,
+)
+from repro.workloads.apps import reference_stencil
+
+
+def test_streaming_reaches_near_peak_bandwidth():
+    result = measure_streaming_bandwidth(Cluster(n_nodes=2), 4096,
+                                         n_messages=24, window=4)
+    assert result.messages == 24
+    # windowed streaming beats single-message ping-pong at this size
+    assert result.bandwidth_mb_s > 120.0
+
+
+def test_streaming_window_one_is_slower():
+    pipelined = measure_streaming_bandwidth(Cluster(n_nodes=2), 4096,
+                                            n_messages=16, window=4)
+    serial = measure_streaming_bandwidth(Cluster(n_nodes=2), 4096,
+                                         n_messages=16, window=1)
+    assert pipelined.bandwidth_mb_s > serial.bandwidth_mb_s * 1.2
+
+
+def test_hotspot_bounded_by_receiver_link():
+    result = measure_hotspot(n_senders=4, message_bytes=4096,
+                             messages_each=8)
+    cfg = Cluster(n_nodes=2).cfg
+    # The receiver's single link is the ceiling.
+    assert result.bandwidth_mb_s <= cfg.wire_mb_s
+    assert result.bandwidth_mb_s > cfg.wire_mb_s * 0.7
+
+
+@pytest.mark.parametrize("n_ranks,rows", [(2, 16), (4, 32)])
+def test_stencil_matches_reference(n_ranks, rows):
+    result = run_stencil(Cluster(n_nodes=n_ranks), n_ranks=n_ranks,
+                         rows=rows, cols=rows, iterations=4)
+    reference = reference_stencil(rows, rows, 4)
+    np.testing.assert_allclose(result.grid, reference)
+    assert result.elapsed_us > 0
+
+
+def test_stencil_packed_placement_matches_reference():
+    result = run_stencil(Cluster(n_nodes=2), n_ranks=4, rows=16, cols=16,
+                         iterations=3, placement=[0, 0, 1, 1])
+    np.testing.assert_allclose(result.grid, reference_stencil(16, 16, 3))
+
+
+def test_stencil_rejects_uneven_split():
+    with pytest.raises(ValueError):
+        run_stencil(Cluster(n_nodes=3), n_ranks=3, rows=16, cols=16)
+
+
+def test_request_service_serves_all_clients():
+    result = run_request_service(Cluster(n_nodes=4), n_clients=3,
+                                 requests_each=4)
+    assert result.requests == 12
+    assert result.dropped == 0
+    # round trip + 5 us service: bounded below by 2x one-way latency
+    assert result.mean_response_us > 40.0
+
+
+def test_kv_store_reads_correct_and_one_sided():
+    cluster = Cluster(n_nodes=3)
+    result = run_kv_store(cluster, n_partitions=2, reads=8)
+    assert result.correct
+    assert result.reads == 8
+    # one-sided: a read round trip is cheap but not free
+    assert 25.0 < result.mean_read_us < 60.0
+
+
+@pytest.mark.parametrize("n_ranks,elements", [(2, 512), (3, 700), (4, 1024)])
+def test_sample_sort_correct(n_ranks, elements):
+    from repro.workloads import run_sample_sort
+    result = run_sample_sort(Cluster(n_nodes=min(n_ranks, 4)),
+                             n_ranks=n_ranks,
+                             elements_per_rank=elements,
+                             placement=[r % min(n_ranks, 4)
+                                        for r in range(n_ranks)])
+    assert result.sorted_ok
+    assert result.total_elements == n_ranks * elements
+
+
+def test_sample_sort_mixed_placement():
+    from repro.workloads import run_sample_sort
+    result = run_sample_sort(Cluster(n_nodes=2), n_ranks=4,
+                             elements_per_rank=600,
+                             placement=[0, 0, 1, 1])
+    assert result.sorted_ok
