@@ -1,0 +1,32 @@
+"""Benchmarks of the experiment runner's cache and fan-out plumbing."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments import runner
+from repro.experiments.cache import RunCache
+
+
+def test_runner_warm_cache_skips_simulation(benchmark, tmp_path):
+    """A fully warm run cache replays payloads instead of simulating;
+    the output must still match the cold run exactly."""
+    cache = RunCache(tmp_path / "cache")
+    cold = runner.run_all(only=["table1", "abl-pio"], cache=cache)
+
+    def warm_run():
+        warm_cache = RunCache(tmp_path / "cache")
+        results = runner.run_all(only=["table1", "abl-pio"],
+                                 cache=warm_cache)
+        assert warm_cache.misses == 0
+        return results
+
+    warm = run_once(benchmark, warm_run)
+    assert [r.format() for r in warm] == [r.format() for r in cold]
+
+
+def test_runner_parallel_matches_serial(benchmark):
+    """Times the pool fan-out path end to end on a small subset."""
+    serial = runner.run_all(only=["table1", "abl-nack"])
+    parallel = run_once(benchmark, runner.run_all,
+                        only=["table1", "abl-nack"], jobs=2)
+    assert [r.format() for r in parallel] == [r.format() for r in serial]

@@ -31,6 +31,15 @@ def build_parser() -> argparse.ArgumentParser:
     ev = sub.add_parser("evaluate", help="regenerate the paper evaluation")
     ev.add_argument("--no-ablations", action="store_true")
     ev.add_argument("--no-extensions", action="store_true")
+    ev.add_argument("--jobs", type=int, default=1, metavar="N",
+                    help="run experiment cells on N worker processes")
+    ev.add_argument("--only", action="append", metavar="NAME",
+                    help="run only the named experiment (repeatable)")
+    ev.add_argument("--no-cache", action="store_true",
+                    help="recompute every cell, ignoring the run cache")
+    ev.add_argument("--cache-dir", metavar="DIR", default=None,
+                    help="run-cache directory ($REPRO_CACHE_DIR or "
+                         ".repro-cache by default)")
 
     lat = sub.add_parser("latency", help="one-way latency measurement")
     lat.add_argument("--bytes", type=int, default=0)
@@ -57,9 +66,17 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_evaluate(args) -> int:
+    from repro.experiments.cache import RunCache
     from repro.experiments.runner import run_all
-    for result in run_all(include_ablations=not args.no_ablations,
-                          include_extensions=not args.no_extensions):
+    cache = None if args.no_cache else RunCache(args.cache_dir)
+    try:
+        results = run_all(include_ablations=not args.no_ablations,
+                          include_extensions=not args.no_extensions,
+                          jobs=args.jobs, cache=cache, only=args.only)
+    except ValueError as exc:
+        print(f"repro evaluate: error: {exc}", file=sys.stderr)
+        return 2
+    for result in results:
         print(result.format())
         print()
     return 0

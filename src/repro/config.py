@@ -74,6 +74,7 @@ class CostModel:
     security_check_us: float = 0.87
     pindown_lookup_us: float = 0.40       # pin-down page-table hit
     pindown_insert_us: float = 0.50       # install one entry on miss
+    pindown_remove_us: float = 0.30       # drop one entry on eviction
     pin_page_us: float = 1.20             # pin one page on miss
     unpin_page_us: float = 0.80
     translate_page_us: float = 0.12       # per-page table walk on miss

@@ -19,6 +19,8 @@ from repro.sim.time import ns_to_us
 __all__ = [
     "PAPER",
     "ExperimentResult",
+    "result_to_payload",
+    "result_from_payload",
     "measure_architecture_latency",
     "measure_kernel_level_latency",
     "measure_user_level_one_way",
@@ -85,6 +87,26 @@ class ExperimentResult:
         if self.notes:
             parts.append(self.notes)
         return "\n".join(parts)
+
+
+def result_to_payload(result: ExperimentResult) -> dict[str, Any]:
+    """Flatten a result to plain JSON-able data (runner cell payload).
+
+    Rows must contain only scalars (str/int/float/bool/None) so the
+    payload survives a JSON round-trip through the run cache without
+    changing type or value.
+    """
+    return {"experiment_id": result.experiment_id, "title": result.title,
+            "columns": list(result.columns),
+            "rows": [dict(r) for r in result.rows], "notes": result.notes}
+
+
+def result_from_payload(payload: dict[str, Any]) -> ExperimentResult:
+    """Inverse of :func:`result_to_payload`."""
+    return ExperimentResult(
+        experiment_id=payload["experiment_id"], title=payload["title"],
+        columns=list(payload["columns"]),
+        rows=[dict(r) for r in payload["rows"]], notes=payload["notes"])
 
 
 def format_table(columns: list[str], rows: list[dict[str, Any]]) -> str:

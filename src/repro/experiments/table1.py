@@ -20,10 +20,24 @@ from repro.experiments.common import ExperimentResult
 from repro.firmware.packet import ChannelKind
 from repro.sim import Store
 
-__all__ = ["run"]
+__all__ = ["run", "count_architecture", "merge_counts"]
 
 #: message size used for the counted crossing
 MESSAGE_BYTES = 64
+
+#: row order and the paper's qualitative claims for each architecture
+_ARCHITECTURES = (
+    ("kernel_level", "kernel-level", ">=2", ">=1", "kernel"),
+    ("user_level", "user-level", "0", "0", "user space"),
+    ("semi_user", "semi-user-level", "1 (send only)", "0", "kernel"),
+)
+
+
+def count_architecture(cfg: CostModel, architecture: str) -> dict:
+    """Event counts for one architecture's message crossing (a cell)."""
+    if architecture == "kernel_level":
+        return _count_kernel_level(cfg)
+    return _count_bcl_like(architecture, cfg)
 
 
 def _count_bcl_like(architecture: str, cfg: CostModel):
@@ -122,7 +136,9 @@ def _merge(deltas):
     return merged
 
 
-def run(cfg: CostModel = DAWNING_3000) -> ExperimentResult:
+def merge_counts(cfg: CostModel, counts: list[dict]) -> ExperimentResult:
+    """Assemble the table from per-architecture counts (cell payloads),
+    ordered as :data:`_ARCHITECTURES`."""
     result = ExperimentResult(
         experiment_id="Table 1",
         title="Comparison of three communication architectures "
@@ -132,28 +148,16 @@ def run(cfg: CostModel = DAWNING_3000) -> ExperimentResult:
                  "paper_trappings", "paper_interrupts", "paper_nic_access"],
         notes="Counted by instrumentation while one 64-byte message "
               "crosses each stack; port/socket setup excluded.")
-
-    kl = _count_kernel_level(cfg)
-    result.add(architecture="kernel-level", os_trappings=kl["traps"],
-               send_traps=kl["traps_send"], recv_traps=kl["traps_recv"],
-               interrupts=kl["interrupts"], host_copies=kl["copies"],
-               nic_accessed_from=kl["nic_access"],
-               paper_trappings=">=2", paper_interrupts=">=1",
-               paper_nic_access="kernel")
-
-    ul = _count_bcl_like("user_level", cfg)
-    result.add(architecture="user-level", os_trappings=ul["traps"],
-               send_traps=ul["traps_send"], recv_traps=ul["traps_recv"],
-               interrupts=ul["interrupts"], host_copies=ul["copies"],
-               nic_accessed_from=ul["nic_access"],
-               paper_trappings="0", paper_interrupts="0",
-               paper_nic_access="user space")
-
-    su = _count_bcl_like("semi_user", cfg)
-    result.add(architecture="semi-user-level", os_trappings=su["traps"],
-               send_traps=su["traps_send"], recv_traps=su["traps_recv"],
-               interrupts=su["interrupts"], host_copies=su["copies"],
-               nic_accessed_from=su["nic_access"],
-               paper_trappings="1 (send only)", paper_interrupts="0",
-               paper_nic_access="kernel")
+    for (_, label, p_traps, p_irqs, p_nic), c in zip(_ARCHITECTURES, counts):
+        result.add(architecture=label, os_trappings=c["traps"],
+                   send_traps=c["traps_send"], recv_traps=c["traps_recv"],
+                   interrupts=c["interrupts"], host_copies=c["copies"],
+                   nic_accessed_from=c["nic_access"],
+                   paper_trappings=p_traps, paper_interrupts=p_irqs,
+                   paper_nic_access=p_nic)
     return result
+
+
+def run(cfg: CostModel = DAWNING_3000) -> ExperimentResult:
+    return merge_counts(cfg, [count_architecture(cfg, arch)
+                              for arch, *_ in _ARCHITECTURES])

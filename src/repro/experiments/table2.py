@@ -23,9 +23,22 @@ from repro.experiments.common import (
 )
 from repro.instrument.measure import measure_intra_node, measure_one_way
 
-__all__ = ["run"]
+__all__ = ["run", "measure_protocol", "merge_protocols"]
 
 BANDWIDTH_BYTES = 131072
+
+
+def measure_protocol(cfg: CostModel, protocol: str) -> dict:
+    """Measure one named preset from :func:`table2_presets` (a cell).
+
+    Presets carry closures (cluster factories), so parallel-runner
+    cells are keyed by preset *name* and the preset is rebuilt here,
+    inside the worker.
+    """
+    for preset in table2_presets(cfg):
+        if preset.name == protocol:
+            return _measure(preset)
+    raise KeyError(f"unknown table-2 protocol {protocol!r}")
 
 
 def _measure(preset: ProtocolPreset) -> dict:
@@ -69,7 +82,8 @@ def _measure(preset: ProtocolPreset) -> dict:
     return row
 
 
-def run(cfg: CostModel = DAWNING_3000) -> ExperimentResult:
+def merge_protocols(cfg: CostModel, rows: list[dict]) -> ExperimentResult:
+    """Assemble the table from per-preset rows, in preset order."""
     result = ExperimentResult(
         experiment_id="Table 2",
         title="Comparison of different communication protocols",
@@ -79,7 +93,10 @@ def run(cfg: CostModel = DAWNING_3000) -> ExperimentResult:
               ">140 MB/s; BIP very low latency, bandwidth below BCL's; "
               "AM-II latency above BCL's, bandwidth not comparable "
               "(extra copy).  BCL paper row: 2.7/18.3 us, 391/146 MB/s.")
-    for preset in table2_presets(cfg):
-        row = _measure(preset)
+    for preset, row in zip(table2_presets(cfg), rows):
         result.add(protocol=preset.name, notes=preset.notes, **row)
     return result
+
+
+def run(cfg: CostModel = DAWNING_3000) -> ExperimentResult:
+    return merge_protocols(cfg, [_measure(p) for p in table2_presets(cfg)])

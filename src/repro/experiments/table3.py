@@ -14,9 +14,37 @@ from repro.instrument.measure import measure_intra_node, measure_one_way
 from repro.sim.time import ns_to_us
 from repro.upper.job import run_spmd
 
-__all__ = ["run", "layer_pingpong_half_rtt_us", "layer_bandwidth_mb_s"]
+__all__ = ["run", "measure_layer", "merge_layers",
+           "layer_pingpong_half_rtt_us", "layer_bandwidth_mb_s"]
 
 BANDWIDTH_BYTES = 262144
+
+LAYERS = ("bcl", "mpi", "pvm")
+
+
+def measure_layer(cfg: CostModel, layer: str) -> dict:
+    """The four measurements of one table row (a runner cell)."""
+    if layer == "bcl":
+        return {
+            "intra_latency_us": measure_intra_node(
+                Cluster(n_nodes=1, cfg=cfg), 0, repeats=3,
+                warmup=2).latency_us,
+            "inter_latency_us": measure_one_way(
+                Cluster(n_nodes=2, cfg=cfg), 0, repeats=3,
+                warmup=2).latency_us,
+            "intra_bandwidth_mb_s": measure_intra_node(
+                Cluster(n_nodes=1, cfg=cfg), 131072, repeats=2,
+                warmup=1).bandwidth_mb_s,
+            "inter_bandwidth_mb_s": measure_one_way(
+                Cluster(n_nodes=2, cfg=cfg), 131072, repeats=2,
+                warmup=1).bandwidth_mb_s,
+        }
+    return {
+        "intra_latency_us": layer_pingpong_half_rtt_us(layer, True, cfg),
+        "inter_latency_us": layer_pingpong_half_rtt_us(layer, False, cfg),
+        "intra_bandwidth_mb_s": layer_bandwidth_mb_s(layer, True, cfg),
+        "inter_bandwidth_mb_s": layer_bandwidth_mb_s(layer, False, cfg),
+    }
 
 
 def layer_pingpong_half_rtt_us(layer: str, intra: bool,
@@ -58,51 +86,38 @@ def layer_bandwidth_mb_s(layer: str, intra: bool,
     return nbytes / half_rtt
 
 
-def run(cfg: CostModel = DAWNING_3000) -> ExperimentResult:
+def merge_layers(cfg: CostModel, rows: list[dict]) -> ExperimentResult:
+    """Assemble the table from per-layer rows, in :data:`LAYERS` order."""
     result = ExperimentResult(
         experiment_id="Table 3",
         title="Performance of BCL and MPI/PVM over BCL",
         columns=["layer", "intra_latency_us", "inter_latency_us",
                  "intra_bandwidth_mb_s", "inter_bandwidth_mb_s",
                  "paper_latency", "paper_bandwidth"])
-
-    bcl_intra_lat = measure_intra_node(Cluster(n_nodes=1, cfg=cfg), 0,
-                                       repeats=3, warmup=2).latency_us
-    bcl_inter_lat = measure_one_way(Cluster(n_nodes=2, cfg=cfg), 0,
-                                    repeats=3, warmup=2).latency_us
-    bcl_intra_bw = measure_intra_node(Cluster(n_nodes=1, cfg=cfg),
-                                      131072, repeats=2,
-                                      warmup=1).bandwidth_mb_s
-    bcl_inter_bw = measure_one_way(Cluster(n_nodes=2, cfg=cfg),
-                                   131072, repeats=2,
-                                   warmup=1).bandwidth_mb_s
-    result.add(layer="BCL",
-               intra_latency_us=bcl_intra_lat,
-               inter_latency_us=bcl_inter_lat,
-               intra_bandwidth_mb_s=bcl_intra_bw,
-               inter_bandwidth_mb_s=bcl_inter_bw,
-               paper_latency=f"{PAPER['oneway_0b_intra_us']}/"
-                             f"{PAPER['oneway_0b_inter_us']} us",
-               paper_bandwidth=f"{PAPER['peak_bw_intra_mb_s']:.0f}/"
-                               f"{PAPER['peak_bw_inter_mb_s']:.0f} MB/s")
-
-    for layer, pl_intra, pl_inter, pb_intra, pb_inter in (
-            ("MPI", PAPER["mpi_latency_intra_us"],
-             PAPER["mpi_latency_inter_us"], PAPER["mpi_bw_intra_mb_s"],
-             PAPER["mpi_bw_inter_mb_s"]),
-            ("PVM", PAPER["pvm_latency_intra_us"],
-             PAPER["pvm_latency_inter_us"], PAPER["pvm_bw_intra_mb_s"],
-             PAPER["pvm_bw_inter_mb_s"])):
-        name = layer.lower()
-        result.add(layer=f"{layer} over BCL",
-                   intra_latency_us=layer_pingpong_half_rtt_us(name, True,
-                                                               cfg),
-                   inter_latency_us=layer_pingpong_half_rtt_us(name, False,
-                                                               cfg),
-                   intra_bandwidth_mb_s=layer_bandwidth_mb_s(name, True,
-                                                             cfg),
-                   inter_bandwidth_mb_s=layer_bandwidth_mb_s(name, False,
-                                                             cfg),
-                   paper_latency=f"{pl_intra}/{pl_inter} us",
-                   paper_bandwidth=f"{pb_intra:.0f}/{pb_inter:.0f} MB/s")
+    paper = {
+        "bcl": ("BCL",
+                f"{PAPER['oneway_0b_intra_us']}/"
+                f"{PAPER['oneway_0b_inter_us']} us",
+                f"{PAPER['peak_bw_intra_mb_s']:.0f}/"
+                f"{PAPER['peak_bw_inter_mb_s']:.0f} MB/s"),
+        "mpi": ("MPI over BCL",
+                f"{PAPER['mpi_latency_intra_us']}/"
+                f"{PAPER['mpi_latency_inter_us']} us",
+                f"{PAPER['mpi_bw_intra_mb_s']:.0f}/"
+                f"{PAPER['mpi_bw_inter_mb_s']:.0f} MB/s"),
+        "pvm": ("PVM over BCL",
+                f"{PAPER['pvm_latency_intra_us']}/"
+                f"{PAPER['pvm_latency_inter_us']} us",
+                f"{PAPER['pvm_bw_intra_mb_s']:.0f}/"
+                f"{PAPER['pvm_bw_inter_mb_s']:.0f} MB/s"),
+    }
+    for layer, row in zip(LAYERS, rows):
+        label, paper_lat, paper_bw = paper[layer]
+        result.add(layer=label, **row, paper_latency=paper_lat,
+                   paper_bandwidth=paper_bw)
     return result
+
+
+def run(cfg: CostModel = DAWNING_3000) -> ExperimentResult:
+    return merge_layers(cfg, [measure_layer(cfg, layer)
+                              for layer in LAYERS])

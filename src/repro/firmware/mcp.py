@@ -127,7 +127,8 @@ class Mcp:
     def receiver_flow(self, src_nic: int) -> GoBackNReceiver:
         if src_nic not in self._receivers:
             self._receivers[src_nic] = GoBackNReceiver(
-                f"{self.name}.from{src_nic}")
+                f"{self.name}.from{src_nic}",
+                rearm_ns=us(self.cfg.retransmit_timeout_us))
         return self._receivers[src_nic]
 
     def _resolve(self, pid: int, vaddr: int, length: int,
@@ -307,7 +308,7 @@ class Mcp:
                 flow = self.receiver_flow(packet.src_nic)
                 deliver, ack_seq = flow.accept(packet)
                 self._send_ack(packet.src_nic, ack_seq)
-                if cfg.nack_enabled and flow.should_nack():
+                if cfg.nack_enabled and flow.should_nack(self.env.now):
                     self._send_ack(packet.src_nic, ack_seq,
                                    ptype=PacketType.NACK)
             else:

@@ -43,6 +43,7 @@ class GoBackNSender:
         self._window_free: Optional[Event] = None
         self._timer: Optional[object] = None
         self._last_nacked_base = -1
+        self._last_fast_retx_at: Optional[int] = None
         self.retransmissions = 0
         self.fast_retransmits = 0
         self.timeouts = 0
@@ -96,13 +97,20 @@ class GoBackNSender:
 
         Resends the outstanding window immediately instead of waiting
         for the timer.  Deduplicated per base value so a burst of NACKs
-        (one per out-of-order arrival) triggers one resend round.
+        (one per out-of-order arrival) triggers one resend round — but
+        the dedup re-arms after a retransmit-timeout interval, so if a
+        fast-retransmit round is itself lost a fresh NACK for the same
+        base is honoured instead of degrading to timeout-only recovery.
         """
         if nack_seq != self.base or not self._unacked:
             return  # stale: the gap was already repaired
         if self._last_nacked_base == self.base:
-            return  # this window is already being fast-retransmitted
+            rearm_ns = us(self.cfg.retransmit_timeout_us)
+            if (self._last_fast_retx_at is None
+                    or self.env.now - self._last_fast_retx_at < rearm_ns):
+                return  # this window is already being fast-retransmitted
         self._last_nacked_base = self.base
+        self._last_fast_retx_at = self.env.now
         self.fast_retransmits += 1
         self._base_sent_at = self.env.now   # back the timer off
         for seq in sorted(self._unacked):
@@ -133,15 +141,23 @@ class GoBackNSender:
 
 
 class GoBackNReceiver:
-    """Receiver half of one flow (one source NIC -> this NIC)."""
+    """Receiver half of one flow (one source NIC -> this NIC).
 
-    def __init__(self, name: str):
+    ``rearm_ns`` (optional) bounds NACK suppression in time: after that
+    long without progress the receiver signals the same gap again (the
+    first fast-retransmit round may itself have been lost).  Without it
+    the dedup is purely per ``expected_seq``, as before.
+    """
+
+    def __init__(self, name: str, rearm_ns: Optional[int] = None):
         self.name = name
+        self.rearm_ns = rearm_ns
         self.expected_seq = 0
         self.duplicates = 0
         self.out_of_order_drops = 0
         self.corrupt_drops = 0
         self._nacked_at = -1
+        self._nacked_time: Optional[int] = None
         self._gap_seen = False
 
     def accept(self, packet: Packet) -> tuple[bool, int]:
@@ -170,14 +186,24 @@ class GoBackNReceiver:
             self._gap_seen = True
         return False, self.expected_seq
 
-    def should_nack(self) -> bool:
+    def should_nack(self, now: Optional[int] = None) -> bool:
         """True when the last accept() revealed a *new* gap: the first
         out-of-order (or corrupt) arrival at this expected_seq.  The
         sender deduplicates too, but suppressing repeats here avoids
-        flooding the reverse path."""
+        flooding the reverse path.
+
+        When both ``now`` and ``rearm_ns`` are available, suppression of
+        a repeated gap expires after ``rearm_ns`` without progress, so a
+        lost fast-retransmit round gets a second NACK instead of being
+        left to timeout-only recovery.
+        """
         if not self._gap_seen:
             return False
         if self._nacked_at == self.expected_seq:
-            return False
+            if (now is None or self.rearm_ns is None
+                    or self._nacked_time is None
+                    or now - self._nacked_time < self.rearm_ns):
+                return False
         self._nacked_at = self.expected_seq
+        self._nacked_time = now
         return True

@@ -78,8 +78,8 @@ class PinDownTable:
         for p in missing:
             key = (space.pid, p)
             while len(self._entries) >= self.capacity:
-                self._evict_one(exclude_pid_pages={(space.pid, q)
-                                                   for q in pages})
+                cost += self._evict_one(exclude_pid_pages={(space.pid, q)
+                                                           for q in pages})
             space.pin(p * space.page_size, 1)
             self._entries[key] = space
             cost += (self.cfg.pin_page_us + self.cfg.translate_page_us
@@ -88,13 +88,16 @@ class PinDownTable:
             self._entries.move_to_end((space.pid, p))
         return PinDownResult(False, len(pages), len(missing), cost)
 
-    def _evict_one(self, exclude_pid_pages: set[tuple[int, int]]) -> None:
+    def _evict_one(self, exclude_pid_pages: set[tuple[int, int]]) -> float:
+        """Evict the LRU victim; returns the kernel time the eviction
+        costs (unpin + table-entry removal), charged to the lookup that
+        forced it — the thrashing regime's per-send tax."""
         for key in self._entries:
             if key not in exclude_pid_pages:
                 victim_space = self._entries.pop(key)
                 victim_space.unpin_page(key[1])
                 self.evictions += 1
-                return
+                return self.cfg.unpin_page_us + self.cfg.pindown_remove_us
         raise ResourceExhaustedError(
             "pin-down table full of pages from the request itself")
 

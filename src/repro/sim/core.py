@@ -11,11 +11,27 @@ Semantics follow the familiar generator-coroutine discrete-event style:
 * The :class:`Environment` owns the clock and the event heap.  Events
   scheduled for the same instant are processed in scheduling order,
   which keeps runs deterministic.
+
+The engine is the hot path under every experiment sweep, so the inner
+loop is tuned:
+
+* callback lists are created lazily — an event allocates no list until
+  the first waiter attaches (``callbacks`` stays a plain list for
+  waiters; it reads as ``None`` once the event is processed, exactly as
+  before);
+* :meth:`Environment.timeout` recycles processed :class:`Timeout`
+  objects from a free pool.  Recycling is guarded by a refcount check,
+  so a timeout anyone still holds a reference to (``t = env.timeout(x)``
+  kept around, condition members, ``run(until=t)`` targets) is never
+  reused;
+* :meth:`Environment.run` processes events in an inlined loop instead
+  of dispatching through :meth:`step` per event.
 """
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
+from sys import getrefcount as _getrefcount
 from typing import Any, Callable, Generator, Iterable, Optional
 
 __all__ = [
@@ -47,23 +63,39 @@ class Interrupt(Exception):
 
 
 _PENDING = object()
+#: sentinel stored in ``_callbacks`` once an event's callbacks have run
+_PROCESSED = object()
+#: maximum number of recycled Timeout objects kept per environment
+_POOL_MAX = 256
 
 
 class Event:
     """A one-shot occurrence other processes can wait on."""
 
-    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused", "_scheduled")
+    __slots__ = ("env", "_callbacks", "_value", "_ok", "_defused",
+                 "_scheduled")
 
     def __init__(self, env: "Environment"):
         self.env = env
-        #: Callables invoked (with this event) when the event is processed.
-        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        # None = no waiters yet (lazy), list = waiters, _PROCESSED = done.
+        self._callbacks: Any = None
         self._value: Any = _PENDING
         self._ok: bool = True
         self._defused: bool = False
         self._scheduled: bool = False
 
     # -- state ---------------------------------------------------------
+    @property
+    def callbacks(self) -> Optional[list]:
+        """Callables invoked (with this event) when the event is
+        processed; ``None`` once it has been processed."""
+        cbs = self._callbacks
+        if cbs is _PROCESSED:
+            return None
+        if cbs is None:
+            cbs = self._callbacks = []
+        return cbs
+
     @property
     def triggered(self) -> bool:
         """True once the event has a value (it may not be processed yet)."""
@@ -72,11 +104,11 @@ class Event:
     @property
     def processed(self) -> bool:
         """True once callbacks have run."""
-        return self.callbacks is None
+        return self._callbacks is _PROCESSED
 
     @property
     def ok(self) -> bool:
-        if not self.triggered:
+        if self._value is _PENDING:
             raise SimulationError("event has not been triggered")
         return self._ok
 
@@ -89,27 +121,42 @@ class Event:
     # -- triggering ----------------------------------------------------
     def succeed(self, value: Any = None) -> "Event":
         """Trigger successfully with ``value`` (processed this instant)."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError(f"{self!r} already triggered")
         self._ok = True
         self._value = value
-        self.env._schedule(self, 0)
+        self._scheduled = True
+        env = self.env
+        heappush(env._heap, (env._now, env._seq, self))
+        env._seq += 1
         return self
 
     def fail(self, exception: BaseException) -> "Event":
         """Trigger as a failure carrying ``exception``."""
         if not isinstance(exception, BaseException):
             raise SimulationError(f"fail() needs an exception, got {exception!r}")
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError(f"{self!r} already triggered")
         self._ok = False
         self._value = exception
-        self.env._schedule(self, 0)
+        self._scheduled = True
+        env = self.env
+        heappush(env._heap, (env._now, env._seq, self))
+        env._seq += 1
         return self
 
     def defuse(self) -> None:
         """Mark a failure as handled so the loop does not re-raise it."""
         self._defused = True
+
+    def _on_orphaned(self) -> None:
+        """Hook: the last waiter detached before the event triggered.
+
+        Called by :meth:`Process.interrupt` when it strips the final
+        callback off an untriggered event.  Resource primitives override
+        this to drop the dead waiter from their queues so a later grant
+        or item hand-off cannot be silently lost.
+        """
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "processed" if self.processed else (
@@ -125,11 +172,15 @@ class Timeout(Event):
     def __init__(self, env: "Environment", delay: int, value: Any = None):
         if delay < 0:
             raise SimulationError(f"negative timeout delay {delay}")
-        super().__init__(env)
-        self.delay = delay
-        self._ok = True
+        self.env = env
+        self._callbacks = None
         self._value = value
-        env._schedule(self, delay)
+        self._ok = True
+        self._defused = False
+        self._scheduled = True
+        self.delay = delay
+        heappush(env._heap, (env._now + delay, env._seq, self))
+        env._seq += 1
 
 
 class _ConditionBase(Event):
@@ -146,10 +197,13 @@ class _ConditionBase(Event):
                 raise SimulationError("cannot mix events from different environments")
         # Wire up after validation so a raise leaves no dangling callbacks.
         for ev in self.events:
-            if ev.processed:
+            cbs = ev._callbacks
+            if cbs is _PROCESSED:
                 self._check(ev)
+            elif cbs is None:
+                ev._callbacks = [self._check]
             else:
-                ev.callbacks.append(self._check)
+                cbs.append(self._check)
         if not self.events and not self.triggered:
             self.succeed(self._result())
 
@@ -204,7 +258,7 @@ class Process(Event):
         # Kick off at the current instant.
         start = Event(env)
         start.succeed()
-        start.callbacks.append(self._resume)
+        start._callbacks = [self._resume]
 
     def interrupt(self, cause: Any = None) -> None:
         """Throw :class:`Interrupt` into the process at this instant."""
@@ -221,21 +275,30 @@ class Process(Event):
         # Detach from whatever it was waiting on so the wait outcome
         # does not also resume it later.
         target = self._target
-        if target.callbacks is not None and self._resume in target.callbacks:
-            target.callbacks.remove(self._resume)
+        cbs = target._callbacks
+        if cbs is not _PROCESSED and cbs and self._resume in cbs:
+            cbs.remove(self._resume)
+            if not cbs and target._value is _PENDING:
+                # The wait target lost its last waiter before triggering:
+                # let queue-backed events (Store getters/putters, Resource
+                # requests) withdraw themselves instead of absorbing a
+                # later hand-off into a dead event.
+                target._on_orphaned()
         env._schedule(hit, 0)
-        hit.callbacks.append(self._resume)
+        hit._callbacks = [self._resume]
 
     def _resume(self, event: Event) -> None:
-        self.env._active_process = self
+        env = self.env
+        env._active_process = self
+        generator = self.generator
         try:
             while True:
                 try:
                     if event._ok:
-                        yielded = self.generator.send(event._value)
+                        yielded = generator.send(event._value)
                     else:
                         event._defused = True
-                        yielded = self.generator.throw(event._value)
+                        yielded = generator.throw(event._value)
                 except StopIteration as stop:
                     self.is_alive = False
                     self._target = None
@@ -255,25 +318,32 @@ class Process(Event):
                     self._target = None
                     self.fail(err)
                     return
-                if yielded.processed:
+                cbs = yielded._callbacks
+                if cbs is _PROCESSED:
                     # Already settled: loop and feed its value straight in.
                     event = yielded
                     continue
-                yielded.callbacks.append(self._resume)
+                if cbs is None:
+                    yielded._callbacks = [self._resume]
+                else:
+                    cbs.append(self._resume)
                 self._target = yielded
                 return
         finally:
-            self.env._active_process = None
+            env._active_process = None
 
 
 class Environment:
     """Owner of the virtual clock and the event heap."""
+
+    __slots__ = ("_now", "_heap", "_seq", "_active_process", "_timeout_pool")
 
     def __init__(self, initial_time: int = 0):
         self._now: int = initial_time
         self._heap: list[tuple[int, int, Event]] = []
         self._seq: int = 0
         self._active_process: Optional[Process] = None
+        self._timeout_pool: list[Timeout] = []
 
     @property
     def now(self) -> int:
@@ -289,7 +359,21 @@ class Environment:
         return Event(self)
 
     def timeout(self, delay: int, value: Any = None) -> Timeout:
-        return Timeout(self, int(delay), value)
+        delay = int(delay)
+        pool = self._timeout_pool
+        if pool:
+            if delay < 0:
+                raise SimulationError(f"negative timeout delay {delay}")
+            t = pool.pop()
+            t._callbacks = None
+            t._value = value
+            t._ok = True
+            t._defused = False
+            t.delay = delay
+            heappush(self._heap, (self._now + delay, self._seq, t))
+            self._seq += 1
+            return t
+        return Timeout(self, delay, value)
 
     def process(self, generator: Generator, name: Optional[str] = None) -> Process:
         return Process(self, generator, name)
@@ -305,7 +389,7 @@ class Environment:
         if event._scheduled:
             raise SimulationError(f"{event!r} already scheduled")
         event._scheduled = True
-        heapq.heappush(self._heap, (self._now + delay, self._seq, event))
+        heappush(self._heap, (self._now + delay, self._seq, event))
         self._seq += 1
 
     def peek(self) -> Optional[int]:
@@ -316,17 +400,23 @@ class Environment:
         """Process exactly one event."""
         if not self._heap:
             raise SimulationError("no scheduled events")
-        when, _, event = heapq.heappop(self._heap)
+        when, _, event = heappop(self._heap)
         if when < self._now:  # pragma: no cover - engine invariant
             raise SimulationError("time went backwards")
         self._now = when
-        callbacks = event.callbacks
-        event.callbacks = None
-        for callback in callbacks:
-            callback(event)
+        callbacks = event._callbacks
+        event._callbacks = _PROCESSED
+        if callbacks is not None:
+            for callback in callbacks:
+                callback(event)
         if not event._ok and not event._defused:
             # An unhandled simulated failure is a real failure.
             raise event._value
+        # Recycle the timeout unless someone still holds a reference
+        # (the only refs left are this frame's local + getrefcount's arg).
+        if type(event) is Timeout and len(self._timeout_pool) < _POOL_MAX \
+                and _getrefcount(event) == 2:
+            self._timeout_pool.append(event)
 
     def run(self, until: Optional[int | Event] = None) -> Any:
         """Run the simulation.
@@ -335,26 +425,45 @@ class Environment:
         until it is processed, return its value), or ``None`` (run the
         heap dry).
         """
-        if isinstance(until, Event):
-            stop = until
-            while not stop.processed:
-                if not self._heap:
+        stop: Optional[Event] = None
+        horizon: Optional[int] = None
+        if until is not None:
+            if isinstance(until, Event):
+                stop = until
+            else:
+                horizon = int(until)
+                if horizon < self._now:
+                    raise SimulationError(
+                        f"until={horizon} is in the past (now={self._now})")
+        heap = self._heap
+        pool = self._timeout_pool
+        getrefcount = _getrefcount
+        while True:
+            if stop is not None:
+                if stop._callbacks is _PROCESSED:
+                    if not stop._ok:
+                        raise stop._value
+                    return stop._value
+                if not heap:
                     raise SimulationError(
                         "simulation ran out of events before the target "
                         f"event triggered (deadlock at t={self._now} ns)")
-                self.step()
-            if not stop.ok:
-                raise stop.value
-            return stop.value
-        if until is not None:
-            horizon = int(until)
-            if horizon < self._now:
-                raise SimulationError(
-                    f"until={horizon} is in the past (now={self._now})")
-            while self._heap and self._heap[0][0] <= horizon:
-                self.step()
-            self._now = horizon
-            return None
-        while self._heap:
-            self.step()
-        return None
+            elif horizon is not None:
+                if not heap or heap[0][0] > horizon:
+                    self._now = horizon
+                    return None
+            elif not heap:
+                return None
+            # Inlined step(): one dispatch per event is the hot path.
+            when, _, event = heappop(heap)
+            self._now = when
+            callbacks = event._callbacks
+            event._callbacks = _PROCESSED
+            if callbacks is not None:
+                for callback in callbacks:
+                    callback(event)
+            if not event._ok and not event._defused:
+                raise event._value
+            if type(event) is Timeout and len(pool) < _POOL_MAX \
+                    and getrefcount(event) == 2:
+                pool.append(event)

@@ -8,6 +8,13 @@ Two primitives cover everything the hardware models need:
 * :class:`Store` — an unbounded-or-bounded FIFO of items with blocking
   ``get``/``put``.  Used for request rings, packet queues between
   pipeline stages, switch output ports and mailbox-style signalling.
+
+Both primitives survive waiter interruption: when a process blocked on
+``Store.get()``/``Store.put()`` or ``Resource.request()`` is
+interrupted, the engine's orphan hook (:meth:`Event._on_orphaned`)
+withdraws the dead waiter from the queue, so a later ``put()`` cannot
+hand an item to a dead getter (silently losing it) and a later
+``release()`` cannot grant capacity to a dead requester.
 """
 
 from __future__ import annotations
@@ -23,11 +30,12 @@ __all__ = ["Resource", "Store"]
 class _Request(Event):
     """Event granted when the resource is acquired."""
 
-    __slots__ = ("resource",)
+    __slots__ = ("resource", "_withdrawn")
 
     def __init__(self, resource: "Resource"):
         super().__init__(resource.env)
         self.resource = resource
+        self._withdrawn = False
 
     # Context-manager sugar so callers can write::
     #
@@ -41,6 +49,14 @@ class _Request(Event):
 
     def __exit__(self, *exc_info: Any) -> None:
         self.resource.release(self)
+
+    def _on_orphaned(self) -> None:
+        # The waiting process died before the grant: leave the queue so
+        # a later release cannot give the resource to a dead requester.
+        queue = self.resource._queue
+        if self in queue:
+            queue.remove(self)
+            self._withdrawn = True
 
 
 class Resource:
@@ -80,12 +96,49 @@ class Resource:
             # interrupted): just drop it from the wait queue.
             self._queue.remove(request)
             return
+        elif request._withdrawn:
+            # Already withdrawn by the interrupt orphan hook; releasing
+            # again (cleanup paths, ``with`` exits) is a no-op.
+            return
         else:
             raise SimulationError("releasing a request this resource never granted")
         if self._queue and len(self._users) < self.capacity:
             nxt = self._queue.popleft()
             self._users.add(nxt)
             nxt.succeed()
+
+
+class _StoreGet(Event):
+    """A blocked getter; withdraws itself if its waiter is interrupted."""
+
+    __slots__ = ("store",)
+
+    def __init__(self, store: "Store"):
+        super().__init__(store.env)
+        self.store = store
+
+    def _on_orphaned(self) -> None:
+        getters = self.store._getters
+        if self in getters:
+            getters.remove(self)
+            self.store.cancelled_gets += 1
+
+
+class _StorePut(Event):
+    """A blocked putter (store full); withdraws itself on interrupt."""
+
+    __slots__ = ("store", "item")
+
+    def __init__(self, store: "Store", item: Any):
+        super().__init__(store.env)
+        self.store = store
+        self.item = item
+
+    def _on_orphaned(self) -> None:
+        putters = self.store._putters
+        if self in putters:
+            putters.remove(self)
+            self.store.cancelled_puts += 1
 
 
 class Store:
@@ -97,8 +150,11 @@ class Store:
         self.env = env
         self.capacity = capacity
         self._items: deque[Any] = deque()
-        self._getters: deque[Event] = deque()
-        self._putters: deque[tuple[Event, Any]] = deque()
+        self._getters: deque[_StoreGet] = deque()
+        self._putters: deque[_StorePut] = deque()
+        #: waiters withdrawn because their process was interrupted
+        self.cancelled_gets = 0
+        self.cancelled_puts = 0
 
     def __len__(self) -> int:
         return len(self._items)
@@ -109,17 +165,18 @@ class Store:
 
     def put(self, item: Any) -> Event:
         """Insert ``item``; the returned event fires once it is stored."""
-        done = Event(self.env)
         if self._getters:
             # Hand straight to the longest-waiting getter.
             getter = self._getters.popleft()
             getter.succeed(item)
-            done.succeed()
         elif not self.is_full:
             self._items.append(item)
-            done.succeed()
         else:
-            self._putters.append((done, item))
+            put_ev = _StorePut(self, item)
+            self._putters.append(put_ev)
+            return put_ev
+        done = Event(self.env)
+        done.succeed()
         return done
 
     def try_put(self, item: Any) -> bool:
@@ -139,13 +196,14 @@ class Store:
 
     def get(self) -> Event:
         """Remove and return the oldest item (blocking)."""
-        ev = Event(self.env)
         if self._items:
+            ev = Event(self.env)
             ev.succeed(self._items.popleft())
             self._admit_putter()
-        else:
-            self._getters.append(ev)
-        return ev
+            return ev
+        getter = _StoreGet(self)
+        self._getters.append(getter)
+        return getter
 
     def try_get(self) -> tuple[bool, Any]:
         """Non-blocking get; returns ``(ok, item_or_None)``."""
@@ -162,6 +220,6 @@ class Store:
 
     def _admit_putter(self) -> None:
         if self._putters and not self.is_full:
-            done, item = self._putters.popleft()
-            self._items.append(item)
-            done.succeed()
+            put_ev = self._putters.popleft()
+            self._items.append(put_ev.item)
+            put_ev.succeed()

@@ -106,3 +106,33 @@ def test_hit_rate_accounting():
     table.lookup(space, v, 4096)
     table.lookup(space, v, 4096)
     assert table.hit_rate == pytest.approx(2 / 3)
+
+
+def test_eviction_charges_unpin_and_remove_cost():
+    """Regression: _evict_one unpinned the victim but charged zero
+    kernel time, so thrashing lookups were billed like clean misses."""
+    cfg, table, space = make(capacity=2, mem_pages=64)
+    bufs = [space.alloc(4096) for _ in range(3)]
+    table.lookup(space, bufs[0], 4096)
+    table.lookup(space, bufs[1], 4096)          # table now full
+    clean_miss = (cfg.pindown_lookup_us + cfg.pin_page_us
+                  + cfg.translate_page_us + cfg.pindown_insert_us)
+    result = table.lookup(space, bufs[2], 4096)  # forces one eviction
+    assert table.evictions == 1
+    assert result.cost_us == pytest.approx(
+        clean_miss + cfg.unpin_page_us + cfg.pindown_remove_us)
+
+
+def test_eviction_cost_scales_with_pages_evicted():
+    """A multi-page miss that evicts N pages pays N eviction charges."""
+    cfg, table, space = make(capacity=4, mem_pages=64)
+    first = space.alloc(4 * 4096)
+    table.lookup(space, first, 4 * 4096)        # fills the table
+    second = space.alloc(4 * 4096)
+    result = table.lookup(space, second, 4 * 4096)
+    assert table.evictions == 4
+    per_page = (cfg.pin_page_us + cfg.translate_page_us
+                + cfg.pindown_insert_us
+                + cfg.unpin_page_us + cfg.pindown_remove_us)
+    assert result.cost_us == pytest.approx(
+        cfg.pindown_lookup_us + 4 * per_page)

@@ -243,3 +243,88 @@ def test_nack_recovers_faster_than_timeout():
     without = run_transfer(False)
     assert without >= 5000.0           # waited out the timer
     assert with_nack < 1000.0          # repaired by fast retransmit
+
+
+# --------------------------------------------------- NACK dedup re-arm
+def test_sender_nack_rearm_after_timeout_interval(env):
+    """Regression: the per-base NACK dedup never expired, so when a
+    fast-retransmit round was itself lost, later NACKs for the same
+    base were ignored forever and recovery degraded to timeout-only."""
+    sender, sent = make_sender(env, window=4, timeout_us=100.0)
+    sender.register(data_packet())
+    sender.register(data_packet())
+    sender.on_nack(0)
+    sender.on_nack(0)                     # inside the re-arm interval
+    assert sender.fast_retransmits == 1
+
+    env.run(until=us(150.0))              # past one retransmit timeout
+    sender.on_nack(0)                     # dedup has re-armed
+    assert sender.fast_retransmits == 2
+
+
+def test_sender_nack_dedup_holds_within_interval(env):
+    sender, _ = make_sender(env, window=4, timeout_us=1000.0)
+    sender.register(data_packet())
+    sender.on_nack(0)
+    env.run(until=us(50.0))               # well inside the interval
+    sender.on_nack(0)
+    assert sender.fast_retransmits == 1
+
+
+def test_receiver_renacks_after_rearm_interval():
+    """Regression: receiver-side suppression was purely per
+    expected_seq; with a rearm horizon a stuck gap is signalled again."""
+    rearm = us(100.0)
+    recv = GoBackNReceiver("r", rearm_ns=rearm)
+    recv.accept(data_packet(seq=0))
+    recv.accept(data_packet(seq=2))                   # gap at seq 1
+    assert recv.should_nack(now=0)
+    recv.accept(data_packet(seq=3))
+    assert not recv.should_nack(now=us(10.0))         # suppressed
+    recv.accept(data_packet(seq=4))
+    assert recv.should_nack(now=us(150.0))            # re-armed
+    recv.accept(data_packet(seq=5))
+    assert not recv.should_nack(now=us(160.0))        # suppressed again
+
+
+def test_receiver_without_clock_keeps_legacy_suppression():
+    """No rearm horizon / no clock: the old once-per-gap behaviour."""
+    recv = GoBackNReceiver("r", rearm_ns=us(100.0))
+    recv.accept(data_packet(seq=0))
+    recv.accept(data_packet(seq=2))
+    assert recv.should_nack()
+    recv.accept(data_packet(seq=3))
+    assert not recv.should_nack()         # clockless call never re-arms
+
+
+def test_lost_fast_retransmit_round_recovers_before_second_timeout():
+    """End to end: drop the first three copies of seq 1 (original, the
+    NACK-triggered round, and the first watchdog round).  The re-armed
+    NACK path repairs the gap around one timeout plus an RTT; without
+    re-arming, recovery waited for the *second* watchdog firing at
+    roughly two timeouts."""
+    from repro.cluster import Cluster
+    from repro.config import DAWNING_3000
+
+    class DropThree:
+        def __init__(self):
+            self.drops = 0
+
+        def __call__(self, packet):
+            if (self.drops < 3 and packet.ptype is PacketType.DATA
+                    and packet.route and packet.seq == 1):
+                self.drops += 1
+                return None
+            return packet
+
+    cfg = DAWNING_3000.replace(retransmit_timeout_us=5000.0)
+    cluster = Cluster(n_nodes=2, cfg=cfg, fault_injector=DropThree())
+    from tests.test_bcl_channels import setup_pair
+    from tests.test_fault_injection import transfer
+    ctx = setup_pair(cluster)
+    payload = bytes(i % 256 for i in range(20000))  # 5 packets
+    t0 = cluster.env.now
+    assert transfer(cluster, ctx, payload) == payload
+    elapsed_us = (cluster.env.now - t0) / 1000
+    assert elapsed_us >= 5000.0            # the watchdog had to fire
+    assert elapsed_us < 7500.0             # but not a second time

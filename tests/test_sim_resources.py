@@ -166,3 +166,114 @@ def test_store_put_releases_blocked_putter_on_get(env):
     env.run()
     assert done.processed
     assert store.peek() == "second"
+
+
+# ------------------------------------------------- interrupted waiters
+def test_interrupted_getter_does_not_swallow_put(env):
+    """Regression: a getter interrupted while blocked on get() used to
+    stay in the queue; the next put() handed it the item, which was
+    silently lost."""
+    from repro.sim import Interrupt
+
+    store = Store(env)
+    received = []
+
+    def doomed():
+        try:
+            yield store.get()
+            received.append("doomed got it")
+        except Interrupt:
+            pass
+
+    def survivor():
+        item = yield store.get()
+        received.append(item)
+
+    victim = env.process(doomed(), name="doomed")
+
+    def driver():
+        yield env.timeout(10)
+        victim.interrupt("give up")
+        env.process(survivor(), name="survivor")
+        yield env.timeout(10)
+        store.put("payload")
+
+    env.process(driver(), name="driver")
+    env.run()
+    assert received == ["payload"]
+    assert store.cancelled_gets == 1
+    assert len(store) == 0
+
+
+def test_interrupted_putter_item_is_not_stored(env):
+    """A putter interrupted while blocked on a full store must not have
+    its item admitted later."""
+    from repro.sim import Interrupt
+
+    store = Store(env, capacity=1)
+    store.try_put("first")
+
+    def doomed():
+        try:
+            yield store.put("orphan")
+        except Interrupt:
+            pass
+
+    victim = env.process(doomed(), name="doomed")
+
+    def driver():
+        yield env.timeout(10)
+        victim.interrupt()
+        yield env.timeout(10)
+        ok, item = store.try_get()
+        assert ok and item == "first"
+
+    env.process(driver(), name="driver")
+    env.run()
+    assert store.cancelled_puts == 1
+    assert len(store) == 0         # "orphan" was never admitted
+
+
+def test_interrupted_requester_is_never_granted(env):
+    """An interrupted Resource waiter leaves the queue; release() must
+    grant the next live waiter, and the dead waiter's with-block
+    cleanup must not raise."""
+    from repro.sim import Interrupt
+
+    res = Resource(env, capacity=1)
+    holder = res.request()
+    granted = []
+
+    dead_req = []
+
+    def doomed():
+        # No with-block: nothing releases the request on interrupt, so
+        # only the orphan hook can withdraw it from the wait queue.
+        req = res.request()
+        dead_req.append(req)
+        try:
+            yield req
+            granted.append("doomed")
+        except Interrupt:
+            pass
+
+    def survivor():
+        with res.request() as req:
+            yield req
+            granted.append("survivor")
+
+    victim = env.process(doomed(), name="doomed")
+
+    def driver():
+        yield env.timeout(10)
+        victim.interrupt()
+        env.process(survivor(), name="survivor")
+        yield env.timeout(10)
+        res.release(holder)
+
+    env.process(driver(), name="driver")
+    env.run()
+    assert granted == ["survivor"]
+    assert res.count == 0
+    assert res.queue_length == 0
+    res.release(dead_req[0])       # withdrawn request: release is a no-op
