@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Fault injection: watch the go-back-N firmware recover on the wire.
+
+Three seeded campaigns against a two-node cluster:
+
+1. a scripted single loss (DATA seq 1 of a 5-packet message) — the
+   hand-computable scenario: one NACK fast retransmit, a measurable
+   time-to-recover, and an exact retransmission amplification;
+2. sustained random loss plus duplication, with per-mechanism recovery
+   counters;
+3. a timed link brownout (a full outage window) that the protocol rides
+   out via its retransmit timer.
+
+Every campaign is fully deterministic: rerunning this script produces
+byte-identical numbers.
+
+Usage::
+
+    python examples/fault_injection.py
+"""
+
+from repro import (
+    Brownout,
+    Cluster,
+    FaultPlan,
+    RecoveryTracker,
+    lossy_dawning,
+    measure_one_way,
+    recovery_summary,
+)
+
+CFG = lossy_dawning()     # 200 us retransmit timer: snappy recovery
+
+
+def run_campaign(title: str, plan: FaultPlan, nbytes: int = 20000) -> dict:
+    print(f"--- {title}")
+    print(f"    {plan.describe()}")
+    cluster = Cluster(n_nodes=2, cfg=CFG, fault_plan=plan)
+    tracker = RecoveryTracker(cluster)
+    sample = measure_one_way(cluster, nbytes, repeats=4, warmup=1)
+    if not sample.received_payloads_ok:
+        raise SystemExit(f"{title}: corrupted payload delivered!")
+    summary = recovery_summary(cluster, tracker)
+    print(f"    latency {sample.latency_us:.2f} us, goodput "
+          f"{sample.bandwidth_mb_s:.1f} MB/s, payloads intact")
+    print(f"    injected: {summary['injected_losses']} losses, "
+          f"{summary['injected_duplicates']} duplicates, "
+          f"{summary['injected_reorders']} reorders")
+    print(f"    recovery: {summary['fast_retransmits']} NACK fast "
+          f"retransmits, {summary['retransmit_timeouts']} timer expiries, "
+          f"amplification {summary['retx_amplification']:.2f}x")
+    if summary["recovered_episodes"]:
+        print(f"    {summary['recovered_episodes']} loss episode(s), "
+              f"mean time-to-recover {summary['ttr_mean_us']:.1f} us "
+              f"(max {summary['ttr_max_us']:.1f})")
+    print()
+    return summary
+
+
+def main() -> None:
+    print("deterministic fault-injection campaigns on a 2-node cluster\n")
+
+    scripted = run_campaign(
+        "scripted single loss (DATA seq 1 of 5)",
+        FaultPlan(drop_seqs=(1,)))
+    # The hand-computable facts this scenario guarantees:
+    assert scripted["injected_losses"] == 1
+    assert scripted["fast_retransmits"] == 1
+    assert scripted["retransmit_timeouts"] == 0
+    assert scripted["ttr_mean_us"] < CFG.retransmit_timeout_us
+
+    noisy = run_campaign(
+        "sustained 8% loss + 5% duplication",
+        FaultPlan(seed=11, drop_rate=0.08, duplicate_rate=0.05),
+        nbytes=65536)
+    assert noisy["injected_losses"] > 0
+    assert noisy["retx_amplification"] > 1.0
+
+    brownout = run_campaign(
+        "link brownout from t=50 us to t=400 us",
+        FaultPlan(brownouts=(Brownout(50.0, 400.0),)))
+    assert brownout["injected_losses"] > 0
+
+    print("all campaigns delivered intact — the on-card protocol held.")
+
+
+if __name__ == "__main__":
+    main()

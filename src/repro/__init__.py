@@ -21,24 +21,32 @@ paper-vs-measured record.
 """
 
 from repro.cluster import Cluster
-from repro.config import DAWNING_3000, CostModel, dawning_3000
+from repro.config import DAWNING_3000, CostModel, dawning_3000, lossy_dawning
+from repro.faults import Brownout, FaultPlan, GilbertElliott
 from repro.instrument.measure import (
     LatencySample,
     measure_intra_node,
     measure_one_way,
     sweep_message_sizes,
 )
+from repro.instrument.recovery import RecoveryTracker, recovery_summary
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "Brownout",
     "Cluster",
     "CostModel",
     "DAWNING_3000",
+    "FaultPlan",
+    "GilbertElliott",
     "LatencySample",
+    "RecoveryTracker",
     "dawning_3000",
+    "lossy_dawning",
     "measure_intra_node",
     "measure_one_way",
+    "recovery_summary",
     "sweep_message_sizes",
     "__version__",
 ]

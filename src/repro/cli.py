@@ -8,6 +8,8 @@ Commands:
 * ``timeline``   — the 0-byte stage timeline (Figure 7 view)
 * ``trace``      — run a traced message and dump a chrome://tracing JSON
 * ``report``     — run a short workload and print the cluster report
+* ``faults``     — run a fault-injected transfer and print the recovery
+  summary (optionally dumping a trace with the fault markers)
 """
 
 from __future__ import annotations
@@ -62,6 +64,20 @@ def build_parser() -> argparse.ArgumentParser:
     rp = sub.add_parser("report", help="cluster utilisation report")
     rp.add_argument("--bytes", type=int, default=65536)
     rp.add_argument("--messages", type=int, default=8)
+
+    fl = sub.add_parser("faults",
+                        help="fault-injected transfer + recovery summary")
+    fl.add_argument("--bytes", type=int, default=65536)
+    fl.add_argument("--messages", type=int, default=8)
+    fl.add_argument("--seed", type=int, default=1)
+    fl.add_argument("--drop", type=float, default=0.05, metavar="RATE",
+                    help="per-packet drop probability (default 0.05)")
+    fl.add_argument("--corrupt", type=float, default=0.0, metavar="RATE")
+    fl.add_argument("--duplicate", type=float, default=0.0, metavar="RATE")
+    fl.add_argument("--reorder", type=float, default=0.0, metavar="RATE")
+    fl.add_argument("--trace-output", metavar="FILE", default=None,
+                    help="also dump a chrome://tracing JSON with the "
+                         "injected faults as instant markers")
     return parser
 
 
@@ -145,6 +161,37 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_faults(args) -> int:
+    from repro.config import LOSSY_DAWNING
+    from repro.faults import FaultPlan
+    from repro.instrument.measure import measure_one_way
+    from repro.instrument.recovery import RecoveryTracker, recovery_summary
+
+    plan = FaultPlan(seed=args.seed, drop_rate=args.drop,
+                     corrupt_rate=args.corrupt,
+                     duplicate_rate=args.duplicate,
+                     reorder_rate=args.reorder)
+    cluster = Cluster(n_nodes=2, cfg=LOSSY_DAWNING, fault_plan=plan,
+                      trace=args.trace_output is not None)
+    tracker = RecoveryTracker(cluster)
+    sample = measure_one_way(cluster, args.bytes, repeats=args.messages,
+                             warmup=1)
+    print(f"plan: {plan.describe()}")
+    print(f"{args.bytes}-byte one-way latency under faults: "
+          f"{sample.latency_us:.2f} us "
+          f"({sample.bandwidth_mb_s:.1f} MB/s goodput), payloads "
+          f"{'intact' if sample.received_payloads_ok else 'CORRUPTED'}")
+    for key, value in recovery_summary(cluster, tracker).items():
+        shown = f"{value:.2f}" if isinstance(value, float) else value
+        print(f"  {key:24s} {shown}")
+    if args.trace_output is not None:
+        from repro.instrument.export import write_chrome_trace
+        count = write_chrome_trace(cluster.tracer, args.trace_output)
+        print(f"wrote {count} trace events to {args.trace_output} "
+              "(faults appear as instant markers)")
+    return 0
+
+
 _COMMANDS = {
     "evaluate": _cmd_evaluate,
     "latency": _cmd_latency,
@@ -152,6 +199,7 @@ _COMMANDS = {
     "timeline": _cmd_timeline,
     "trace": _cmd_trace,
     "report": _cmd_report,
+    "faults": _cmd_faults,
 }
 
 

@@ -24,6 +24,7 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from repro.config import DAWNING_3000, CostModel
+from repro.faults import FaultInjector, FaultPlan, install_plan
 from repro.firmware.mcp import Mcp
 from repro.firmware.packet import Packet
 from repro.hw.network import Network, build_network
@@ -48,6 +49,7 @@ class Cluster:
                  reliable: bool = True,
                  fault_injector: Optional[Callable[[Packet],
                                                    Optional[Packet]]] = None,
+                 fault_plan: Optional[FaultPlan] = None,
                  env: Optional[Environment] = None):
         if architecture not in ARCHITECTURES:
             raise ValueError(
@@ -66,6 +68,15 @@ class Cluster:
         ]
         self.network: Network = build_network(
             self.env, cfg, n_nodes, topology, fault_injector)
+        #: seeded per-link injectors, when a fault_plan is installed
+        self.fault_plan = fault_plan
+        self.fault_injectors: list[FaultInjector] = []
+        if fault_plan is not None:
+            if fault_injector is not None:
+                raise ValueError(
+                    "pass either fault_injector (legacy callback) or "
+                    "fault_plan, not both")
+            self.fault_injectors = install_plan(self, fault_plan)
         self.mcps: list[Mcp] = []
         for node in self.nodes:
             node.nic.attach_network(self.network)
@@ -101,3 +112,20 @@ class Cluster:
         return sum(s.retransmissions
                    for mcp in self.mcps
                    for s in mcp._senders.values())
+
+    @property
+    def total_fast_retransmits(self) -> int:
+        return sum(s.fast_retransmits
+                   for mcp in self.mcps
+                   for s in mcp._senders.values())
+
+    @property
+    def total_retransmit_timeouts(self) -> int:
+        return sum(s.timeouts
+                   for mcp in self.mcps
+                   for s in mcp._senders.values())
+
+    @property
+    def total_injected_faults(self) -> int:
+        return sum(inj.total_losses + inj.corruptions + inj.duplicates
+                   + inj.reorders for inj in self.fault_injectors)

@@ -40,8 +40,8 @@ from __future__ import annotations
 import dataclasses
 from dataclasses import dataclass, field
 
-__all__ = ["CostModel", "DAWNING_3000", "DNET_MESH",
-           "dawning_3000", "dnet_mesh"]
+__all__ = ["CostModel", "DAWNING_3000", "DNET_MESH", "LOSSY_DAWNING",
+           "dawning_3000", "dnet_mesh", "lossy_dawning"]
 
 
 @dataclass(frozen=True)
@@ -239,5 +239,24 @@ def dnet_mesh() -> CostModel:
     return model
 
 
+def lossy_dawning() -> CostModel:
+    """The default calibration tuned for fault-injection campaigns.
+
+    Identical hardware to :func:`dawning_3000`, but with the go-back-N
+    retransmission timer shortened from its conservative 1 ms default to
+    200 us.  Under injected loss the timer dominates every recovery that
+    NACK fast-retransmit cannot handle (e.g. a dropped *last* packet of
+    a message leaves no later arrival to trigger the NACK), so the
+    resilience sweep would otherwise spend most of its simulated time
+    idle inside timeout waits.  The shorter timer is still an order of
+    magnitude above the loaded round-trip time, so it never fires
+    spuriously.
+    """
+    model = CostModel(retransmit_timeout_us=200.0)
+    model.validate()
+    return model
+
+
 DAWNING_3000: CostModel = dawning_3000()
 DNET_MESH: CostModel = dnet_mesh()
+LOSSY_DAWNING: CostModel = lossy_dawning()

@@ -31,7 +31,7 @@ from typing import Any, Callable, Optional, Sequence
 from repro.baselines.models import table2_presets
 from repro.config import DAWNING_3000, CostModel
 from repro.experiments import ablations, curves, extensions, overheads, \
-    table1, table2, table3, timelines
+    resilience, table1, table2, table3, timelines
 from repro.experiments.cache import RunCache, default_cache_dir
 from repro.experiments.common import ExperimentResult, result_from_payload, \
     result_to_payload
@@ -102,6 +102,7 @@ CELL_FNS: dict[str, Callable] = {
     "ablations.reliability": ablations.reliability_point,
     "ablations.nack": ablations.nack_transfer_us,
     "extensions.run": _extension_cell,
+    "resilience.point": resilience.measure_resilience_point,
 }
 
 
@@ -179,6 +180,16 @@ EXPERIMENTS: tuple = (
     for which in ("smp_scaling", "bidirectional", "topologies",
                   "send_window", "dnet", "collective_scaling",
                   "allreduce_algorithms")
+) + (
+    # Loss-rate x size sweep; the plan re-reads the (env-overridable)
+    # sweep axes at call time so smoke runs can shrink it.
+    Experiment("resilience", "extension",
+               lambda cfg: [_cell("resilience.point", loss_pct=loss,
+                                  nbytes=n, intra=intra)
+                            for intra in (False, True)
+                            for loss in resilience.loss_rates_pct()
+                            for n in resilience.message_sizes()],
+               resilience.merge_resilience),
 )
 
 

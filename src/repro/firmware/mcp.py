@@ -95,6 +95,12 @@ class Mcp:
         self.messages_sent = 0
         self.messages_delivered = 0
         self.unroutable = 0
+        #: optional fault adjudicator on the egress path (packets lost
+        #: or mangled between injection and the wire; see repro.faults)
+        self.egress_injector = None
+        #: notified with each lazily-created GoBackNSender (recovery
+        #: metrics hook; see repro.instrument.recovery)
+        self.on_new_sender: Optional[Callable[[GoBackNSender], None]] = None
         #: system-channel pool buffers claimed by in-flight messages
         self._inflight_pool: dict[int, object] = {}
         nic.attach_mcp(self)
@@ -118,10 +124,14 @@ class Mcp:
 
     def sender_flow(self, dst_nic: int) -> GoBackNSender:
         if dst_nic not in self._senders:
-            self._senders[dst_nic] = GoBackNSender(
+            sender = GoBackNSender(
                 self.env, self.cfg,
                 retransmit=lambda pkt: self.tx_wire.try_put((pkt, [])),
-                name=f"{self.name}.flow{dst_nic}")
+                name=f"{self.name}.flow{dst_nic}",
+                flow=(self.nic.node_id, dst_nic))
+            self._senders[dst_nic] = sender
+            if self.on_new_sender is not None:
+                self.on_new_sender(sender)
         return self._senders[dst_nic]
 
     def receiver_flow(self, src_nic: int) -> GoBackNReceiver:
@@ -277,10 +287,27 @@ class Mcp:
             yield self.env.timeout(us(cfg.wire_inject_us) + serialization)
             self._trace(start, "wire", "wire_inject", packet.message_id,
                         nbytes=len(packet.payload))
-            yield self.nic.endpoint.send(packet)
+            # Egress fault domain: the packet was injected (costs and
+            # completion callbacks stand) but may be lost or mangled
+            # between the engine and the wire.
+            if self.egress_injector is not None:
+                outcomes = self.egress_injector.adjudicate(packet)
+            else:
+                outcomes = ((0, packet),)
+            for extra_delay, out_packet in outcomes:
+                if extra_delay:
+                    self.env.process(
+                        self._send_delayed(out_packet, extra_delay),
+                        name=f"{self.name}.late_inject")
+                else:
+                    yield self.nic.endpoint.send(out_packet)
             for callback in callbacks:
                 callback()
             yield self.env.timeout(gap)
+
+    def _send_delayed(self, packet: Packet, delay_ns: int) -> Generator:
+        yield self.env.timeout(delay_ns)
+        yield self.nic.endpoint.send(packet)
 
     # -------------------------------------------------------- recv engine
     def _recv_engine(self) -> Generator:

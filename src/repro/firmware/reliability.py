@@ -30,12 +30,20 @@ class GoBackNSender:
     """Sender half of one flow (this NIC -> one destination NIC)."""
 
     def __init__(self, env: Environment, cfg: CostModel,
-                 retransmit: Callable[[Packet], None], name: str):
+                 retransmit: Callable[[Packet], None], name: str,
+                 flow: Optional[tuple[int, int]] = None):
         self.env = env
         self.cfg = cfg
         self.name = name
+        #: (src_nic, dst_nic) identity, for recovery-metric attribution
+        self.flow = flow
         #: callback that re-injects a packet onto the wire
         self._retransmit = retransmit
+        #: optional observer called as (sender, old_base, new_base) each
+        #: time a cumulative ack advances the window base — the signal
+        #: recovery trackers use to close a loss episode
+        self.on_base_advance: Optional[
+            Callable[["GoBackNSender", int, int], None]] = None
         self.next_seq = 0
         self.base = 0
         self._unacked: dict[int, Packet] = {}
@@ -81,16 +89,17 @@ class GoBackNSender:
 
     def on_ack(self, ack_seq: int) -> None:
         """Cumulative ack: everything with seq < ack_seq is delivered."""
-        advanced = False
+        old_base = self.base
         while self.base < ack_seq:
             self._unacked.pop(self.base, None)
             self.base += 1
-            advanced = True
-        if advanced:
+        if self.base != old_base:
             self._base_sent_at = self.env.now
             if self._window_free is not None and not self.window_full:
                 self._window_free.succeed()
                 self._window_free = None
+            if self.on_base_advance is not None:
+                self.on_base_advance(self, old_base, self.base)
 
     def on_nack(self, nack_seq: int) -> None:
         """Fast retransmit: the receiver saw a gap at ``nack_seq``.

@@ -12,6 +12,13 @@ re-charging serialization latency at every hop.
 Backpressure: each direction has a small bounded inbox; when a
 downstream link is saturated the upstream sender's ``send`` blocks,
 which is the discrete analogue of wormhole flow control.
+
+Fault injection: a link may carry an *injector* (see
+:mod:`repro.faults`) that adjudicates each packet into zero or more
+deliveries — drop, corrupt, duplicate, or delay/reorder.  Faulted
+packets still occupy the serialization window (the bits crossed the
+wire before being lost), so lossy links congest realistically; each
+extra duplicate copy holds the direction for one more window.
 """
 
 from __future__ import annotations
@@ -19,6 +26,7 @@ from __future__ import annotations
 from typing import Callable, Generator, Optional
 
 from repro.config import CostModel
+from repro.faults import as_injector
 from repro.firmware.packet import Packet
 from repro.sim import Environment, Store, us
 from repro.sim.time import transfer_time_ns
@@ -66,9 +74,10 @@ class Link:
         self.env = env
         self.cfg = cfg
         self.name = name
-        #: Optional hook: maps a packet to a (possibly corrupted) packet,
-        #: or None to drop it.  Used by the reliability tests.
-        self.fault_injector = fault_injector
+        #: Fault adjudicator (see :mod:`repro.faults`): either a full
+        #: :class:`~repro.faults.FaultInjector` or a wrapped legacy
+        #: callback (packet -> packet | None-to-drop).
+        self.injector = as_injector(fault_injector)
         self.a = LinkEndpoint(self, f"{name}.a")
         self.b = LinkEndpoint(self, f"{name}.b")
         self.a.peer, self.b.peer = self.b, self.a
@@ -93,19 +102,28 @@ class Link:
         prop = us(self.cfg.link_propagation_us)
         while True:
             packet: Packet = yield inbox.get()
-            if self.fault_injector is not None:
-                packet = self.fault_injector(packet)
-                if packet is None:
-                    self.packets_dropped += 1
-                    continue
             serialization = transfer_time_ns(
                 packet.wire_bytes(self.cfg.wire_header_bytes),
                 self.cfg.wire_mb_s)
-            self.env.process(self._deliver_after(dst, packet, prop),
-                             name=f"{self.name}.deliver")
-            self.busy_ns[src] += serialization
+            if self.injector is not None:
+                outcomes = self.injector.adjudicate(packet)
+            else:
+                outcomes = ((0, packet),)
+            # A dropped or corrupted packet crossed the wire before it
+            # was lost, so it occupies the serialization window like any
+            # other; each duplicate copy holds one more window.
+            occupancy = serialization * max(1, len(outcomes))
+            self.busy_ns[src] += occupancy
+            if not outcomes:
+                self.packets_dropped += 1
+                yield self.env.timeout(serialization)
+                continue
             self.packets_carried += 1
-            yield self.env.timeout(serialization)
+            for extra_delay, out_packet in outcomes:
+                self.env.process(
+                    self._deliver_after(dst, out_packet, prop + extra_delay),
+                    name=f"{self.name}.deliver")
+            yield self.env.timeout(occupancy)
 
     def _deliver_after(self, dst: LinkEndpoint, packet: Packet,
                        delay: int) -> Generator:

@@ -1,6 +1,11 @@
 """Instrumentation: path counters, measurement harness, statistics."""
 
-from repro.instrument.counters import PathCounters
+from repro.instrument.counters import PathCounters, ReliabilityCounters
+from repro.instrument.recovery import (
+    LossEpisode,
+    RecoveryTracker,
+    recovery_summary,
+)
 from repro.instrument.report import ClusterReport, cluster_report
 from repro.instrument.stats import bandwidth_mb_s, summarize
 from repro.instrument.measure import (
@@ -13,11 +18,15 @@ from repro.instrument.measure import (
 __all__ = [
     "ClusterReport",
     "LatencySample",
+    "LossEpisode",
     "PathCounters",
+    "RecoveryTracker",
+    "ReliabilityCounters",
     "cluster_report",
     "bandwidth_mb_s",
     "measure_intra_node",
     "measure_one_way",
+    "recovery_summary",
     "summarize",
     "sweep_message_sizes",
 ]

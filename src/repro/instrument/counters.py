@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["PathCounters"]
+__all__ = ["PathCounters", "ReliabilityCounters"]
 
 
 @dataclass
@@ -100,3 +100,46 @@ class PathCounters:
                 if v - before.syscalls_by_name.get(k, 0)
             },
         )
+
+
+@dataclass
+class ReliabilityCounters:
+    """Per-NIC tally of the go-back-N protocol's recovery work.
+
+    Aggregated over every sender and receiver flow of one MCP: how many
+    wire packets were resent, which mechanism triggered the resend
+    (NACK fast retransmit vs. timer expiry), and what the receive
+    discipline discarded.  The fault-injection campaigns read these to
+    compute retransmission amplification and to regression-guard the
+    recovery behaviour.
+    """
+
+    data_packets: int = 0          # unique sequenced packets originated
+    retransmissions: int = 0       # wire resends (go-back-N rounds)
+    fast_retransmits: int = 0      # NACK-triggered resend rounds
+    retransmit_timeouts: int = 0   # timer-triggered resend rounds
+    duplicate_drops: int = 0       # receiver: seq below expected
+    out_of_order_drops: int = 0    # receiver: gap ahead of expected
+    corrupt_drops: int = 0         # receiver: CRC failures
+
+    @classmethod
+    def from_mcp(cls, mcp) -> "ReliabilityCounters":
+        """Collect one NIC's flow counters (``mcp`` is a firmware Mcp)."""
+        counters = cls()
+        for sender in mcp._senders.values():
+            counters.data_packets += sender.next_seq
+            counters.retransmissions += sender.retransmissions
+            counters.fast_retransmits += sender.fast_retransmits
+            counters.retransmit_timeouts += sender.timeouts
+        for receiver in mcp._receivers.values():
+            counters.duplicate_drops += receiver.duplicates
+            counters.out_of_order_drops += receiver.out_of_order_drops
+            counters.corrupt_drops += receiver.corrupt_drops
+        return counters
+
+    @property
+    def retx_amplification(self) -> float:
+        """Wire DATA packets per unique DATA packet (1.0 = loss-free)."""
+        if not self.data_packets:
+            return 1.0
+        return (self.data_packets + self.retransmissions) / self.data_packets

@@ -31,7 +31,11 @@ def chrome_trace_events(tracer: Tracer,
 
     Complete events ("ph": "X") with microsecond timestamps; the
     component name becomes the thread name so each component renders as
-    its own row.
+    its own row.  Zero-duration ``fault`` records (injected packet
+    drops, corruptions, duplications, reorders — see
+    :mod:`repro.faults`) become instant events ("ph": "i"), so a
+    Perfetto timeline shows each fault as a marker on its link's row,
+    right next to the go-back-N recovery activity it triggered.
     """
     events: list[dict] = []
     components: dict[str, int] = {}
@@ -39,6 +43,20 @@ def chrome_trace_events(tracer: Tracer,
         if message_id is not None and record.message_id != message_id:
             continue
         tid = components.setdefault(record.component, len(components) + 1)
+        args = ({"message_id": record.message_id} | dict(record.data)) \
+            if record.message_id is not None else dict(record.data)
+        if record.category == "fault" and record.duration_ns == 0:
+            events.append({
+                "name": record.stage,
+                "cat": record.category,
+                "ph": "i",
+                "s": "t",                      # thread-scoped marker
+                "pid": _TRACE_PID,
+                "tid": tid,
+                "ts": record.start_ns / 1000.0,
+                "args": args,
+            })
+            continue
         events.append({
             "name": record.stage,
             "cat": record.category,
@@ -47,8 +65,7 @@ def chrome_trace_events(tracer: Tracer,
             "tid": tid,
             "ts": record.start_ns / 1000.0,    # chrome wants us
             "dur": record.duration_ns / 1000.0,
-            "args": ({"message_id": record.message_id} | dict(record.data))
-            if record.message_id is not None else dict(record.data),
+            "args": args,
         })
     # Thread-name metadata so rows are labelled.
     for component, tid in components.items():

@@ -11,6 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
+from repro.faults import FaultInjector
+from repro.instrument.counters import ReliabilityCounters
 from repro.sim.time import ns_to_us
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -36,6 +38,11 @@ class NodeReport:
     nic_messages_sent: int
     nic_messages_delivered: int
     nic_retransmissions: int
+    nic_fast_retransmits: int
+    nic_retransmit_timeouts: int
+    nic_duplicate_drops: int
+    nic_out_of_order_drops: int
+    nic_corrupt_drops: int
     nic_tlb_hits: int
     nic_tlb_misses: int
     system_channel_drops: int
@@ -55,6 +62,7 @@ class LinkReport:
     busy_us_b_to_a: float
     packets: int
     dropped: int
+    injected_faults: int = 0   # adjudicated drops/corruptions/dups/reorders
 
 
 @dataclass
@@ -105,12 +113,24 @@ class ClusterReport:
                 f"{node.nic_retransmissions} | drops sys "
                 f"{node.system_channel_drops} unready "
                 f"{node.unready_channel_drops}")
+            if (node.nic_retransmissions or node.nic_duplicate_drops
+                    or node.nic_out_of_order_drops or node.nic_corrupt_drops):
+                lines.append(
+                    f"         recovery: fast-retx "
+                    f"{node.nic_fast_retransmits} | timeouts "
+                    f"{node.nic_retransmit_timeouts} | rx drops dup "
+                    f"{node.nic_duplicate_drops} ooo "
+                    f"{node.nic_out_of_order_drops} crc "
+                    f"{node.nic_corrupt_drops}")
         busiest = self.busiest_link if self.links else None
         if busiest is not None:
+            faulted = f", {busiest.injected_faults} faults injected" \
+                if busiest.injected_faults else ""
             lines.append(
                 f"  busiest link: {busiest.name} "
                 f"({self.link_utilisation(busiest):.1%} utilised, "
-                f"{busiest.packets} packets, {busiest.dropped} dropped)")
+                f"{busiest.packets} packets, {busiest.dropped} dropped"
+                f"{faulted})")
         return "\n".join(lines)
 
 
@@ -120,7 +140,7 @@ def cluster_report(cluster: "Cluster") -> ClusterReport:
     for node, mcp in zip(cluster.nodes, cluster.mcps):
         counters = node.kernel.counters
         pindown = node.kernel.pindown
-        retx = sum(s.retransmissions for s in mcp._senders.values())
+        reliability = ReliabilityCounters.from_mcp(mcp)
         report.nodes.append(NodeReport(
             node_id=node.node_id,
             cpu_busy_us=[ns_to_us(cpu.busy_ns) for cpu in node.cpus],
@@ -136,7 +156,12 @@ def cluster_report(cluster: "Cluster") -> ClusterReport:
             pindown_evictions=pindown.evictions,
             nic_messages_sent=mcp.messages_sent,
             nic_messages_delivered=mcp.messages_delivered,
-            nic_retransmissions=retx,
+            nic_retransmissions=reliability.retransmissions,
+            nic_fast_retransmits=reliability.fast_retransmits,
+            nic_retransmit_timeouts=reliability.retransmit_timeouts,
+            nic_duplicate_drops=reliability.duplicate_drops,
+            nic_out_of_order_drops=reliability.out_of_order_drops,
+            nic_corrupt_drops=reliability.corrupt_drops,
             nic_tlb_hits=mcp.tlb.hits,
             nic_tlb_misses=mcp.tlb.misses,
             system_channel_drops=sum(p.system_dropped
@@ -145,11 +170,15 @@ def cluster_report(cluster: "Cluster") -> ClusterReport:
                                       for p in node.nic.ports.values()),
         ))
     for link in cluster.network.links:
+        injector = link.injector
+        faults = (len(injector.events)
+                  if isinstance(injector, FaultInjector) else 0)
         report.links.append(LinkReport(
             name=link.name,
             busy_us_a_to_b=ns_to_us(link.busy_ns[link.a]),
             busy_us_b_to_a=ns_to_us(link.busy_ns[link.b]),
             packets=link.packets_carried,
             dropped=link.packets_dropped,
+            injected_faults=faults,
         ))
     return report

@@ -47,10 +47,25 @@ class Tracer:
         self._listeners: list[Callable[[TraceRecord], None]] = []
 
     def clear(self) -> None:
+        """Reset for a fresh trial: drop records AND detach listeners.
+
+        Listeners are typically bound to per-trial objects (exporters,
+        recovery trackers); a tracer reused across trials used to keep
+        them, so every re-attached listener fired once per prior trial
+        as well — duplicating downstream records.
+        """
         self.records.clear()
+        self._listeners.clear()
 
     def add_listener(self, fn: Callable[[TraceRecord], None]) -> None:
         self._listeners.append(fn)
+
+    def remove_listener(self, fn: Callable[[TraceRecord], None]) -> None:
+        """Detach one listener; unknown listeners are ignored."""
+        try:
+            self._listeners.remove(fn)
+        except ValueError:
+            pass
 
     def record(self, start_ns: int, end_ns: int, category: str, stage: str,
                component: str, message_id: Optional[int] = None,

@@ -106,3 +106,16 @@ def test_cli_report(capsys):
     assert main(["report", "--bytes", "4096", "--messages", "2"]) == 0
     out = capsys.readouterr().out
     assert "node0" in out and "pindown" in out
+
+
+def test_cli_faults(tmp_path, capsys):
+    out_file = tmp_path / "faults.json"
+    assert main(["faults", "--bytes", "20000", "--messages", "2",
+                 "--drop", "0.2", "--seed", "3",
+                 "--trace-output", str(out_file)]) == 0
+    out = capsys.readouterr().out
+    assert "FaultPlan" in out and "payloads intact" in out
+    assert "retx_amplification" in out
+    events = json.loads(out_file.read_text())["traceEvents"]
+    markers = [e for e in events if e.get("ph") == "i"]
+    assert markers and all(e["cat"] == "fault" for e in markers)

@@ -50,6 +50,30 @@ def test_tracer_listener_invoked():
     assert len(seen) == 1 and seen[0].duration_ns == 10
 
 
+def test_tracer_clear_detaches_listeners():
+    """Regression: a tracer reused across trials used to keep stale
+    listeners through clear(), so each re-attached listener fired once
+    per prior trial and duplicated downstream records."""
+    tracer = Tracer()
+    seen = []
+    for _trial in range(3):
+        tracer.clear()
+        tracer.add_listener(seen.append)
+        tracer.record(0, 10, "cpu", "work", "c0")
+    assert len(seen) == 3          # one callback per record, not 1+2+3
+    assert len(tracer.records) == 1
+
+
+def test_tracer_remove_listener():
+    tracer = Tracer()
+    seen = []
+    tracer.add_listener(seen.append)
+    tracer.remove_listener(seen.append)
+    tracer.remove_listener(seen.append)    # unknown listener: no error
+    tracer.record(0, 10, "cpu", "work", "c0")
+    assert seen == []
+
+
 def test_stage_timeline_critical_path_and_format():
     tracer = Tracer()
     tracer.record(0, 1000, "cpu", "a", "c0", message_id=1)
