@@ -1,0 +1,17 @@
+"""Seeded generator-misuse violation for CI.
+
+This file is intentionally buggy: `send` calls the generator `_charge`
+without `yield from`, so the charge never runs.  CI asserts that
+``python -m repro.audit.lint ci/lint_seed_violation.py`` FAILS on it —
+proving the lint catches the bug class it exists for.  It lives outside
+``src``/``tests``/``examples`` so the clean-tree lint stays green.
+"""
+
+
+class _SeededSender:
+    def _charge(self, cost: int):
+        yield cost
+
+    def send(self):
+        self._charge(3)  # BUG (deliberate): generator is never driven
+        yield 0

@@ -10,6 +10,9 @@ Commands:
 * ``report``     — run a short workload and print the cluster report
 * ``faults``     — run a fault-injected transfer and print the recovery
   summary (optionally dumping a trace with the fault markers)
+* ``audit``      — run clean and faulted transfers with the runtime
+  invariant auditor attached and print the checker summary
+  (``--selftest`` proves each checker fires on a seeded violation)
 """
 
 from __future__ import annotations
@@ -42,6 +45,9 @@ def build_parser() -> argparse.ArgumentParser:
     ev.add_argument("--cache-dir", metavar="DIR", default=None,
                     help="run-cache directory ($REPRO_CACHE_DIR or "
                          ".repro-cache by default)")
+    ev.add_argument("--audit", action="store_true",
+                    help="attach the runtime invariant auditor to every "
+                         "cluster (violations abort the run)")
 
     lat = sub.add_parser("latency", help="one-way latency measurement")
     lat.add_argument("--bytes", type=int, default=0)
@@ -78,12 +84,30 @@ def build_parser() -> argparse.ArgumentParser:
     fl.add_argument("--trace-output", metavar="FILE", default=None,
                     help="also dump a chrome://tracing JSON with the "
                          "injected faults as instant markers")
+
+    au = sub.add_parser("audit",
+                        help="run audited transfers (clean + faulted) and "
+                             "print the invariant-checker summary")
+    au.add_argument("--bytes", type=int, default=65536)
+    au.add_argument("--messages", type=int, default=8)
+    au.add_argument("--seed", type=int, default=1)
+    au.add_argument("--drop", type=float, default=0.05, metavar="RATE",
+                    help="drop rate of the faulted phase (default 0.05)")
+    au.add_argument("--selftest", action="store_true",
+                    help="also inject one deliberate violation per "
+                         "checker and confirm each raises AuditError")
     return parser
 
 
 def _cmd_evaluate(args) -> int:
     from repro.experiments.cache import RunCache
     from repro.experiments.runner import run_all
+    if args.audit:
+        # Global switch, exported via REPRO_AUDIT so --jobs N worker
+        # processes inherit it.  The auditor is a pure observer, so
+        # audited results (and cache entries) are byte-identical.
+        from repro import audit
+        audit.enable()
     cache = None if args.no_cache else RunCache(args.cache_dir)
     try:
         results = run_all(include_ablations=not args.no_ablations,
@@ -192,6 +216,136 @@ def _cmd_faults(args) -> int:
     return 0
 
 
+def _audit_selftest() -> int:
+    """One deliberate violation per checker; each must raise AuditError."""
+    from heapq import heappush
+
+    from repro import audit
+    from repro.audit import AuditError, Auditor
+    from repro.instrument.measure import measure_one_way
+    from repro.sim import Environment, Event, Store
+
+    failures = []
+
+    def expect(name, fn):
+        try:
+            fn()
+        except AuditError as exc:
+            first = exc.violations[0]
+            print(f"  {name:28s} PASS  ({first.layer}/{first.rule})")
+        else:
+            failures.append(name)
+            print(f"  {name:28s} FAIL  (no AuditError raised)")
+
+    def past_event():
+        env = Environment()
+        Auditor(env)
+        env._now = 100
+        ev = Event(env)
+        ev._ok = True
+        ev._value = None
+        ev._scheduled = True
+        heappush(env._heap, (50, env._seq, ev))
+        env._seq += 1
+        env.run()
+
+    def orphaned_waiter():
+        env = Environment()
+        Auditor(env)
+        store = Store(env)
+        store.get()  # nobody ever waits on the getter
+        env.run()
+
+    def byte_conservation():
+        cluster = Cluster(n_nodes=2)
+        measure_one_way(cluster, 4096, repeats=1, warmup=0)
+        senders = [s for mcp in cluster.mcps
+                   for s in mcp._senders.values()]
+        senders[0].bytes_registered += 1   # cook the ledger
+        cluster.env.run()
+
+    def pin_leak():
+        cluster = Cluster(n_nodes=1)
+        proc = cluster.spawn(0)
+        vaddr = proc.space.alloc(8192)
+        proc.space.pin(vaddr, 8192)        # never unpinned
+        cluster.nodes[0].exit_process(proc.pid)
+
+    def credit_overflow():
+        cluster = Cluster(n_nodes=2)
+        from repro.upper.job import run_spmd
+
+        def tamper(ep):
+            ep.eadi._credits[1 - ep.rank] = \
+                ep.eadi._credits_initial + 5
+            ep.eadi._release_credits(1 - ep.rank, 1)
+            yield cluster.env.timeout(0)
+
+        run_spmd(cluster, 2, tamper)
+
+    def waiter_survives_teardown():
+        cluster = Cluster(n_nodes=2)
+        from repro.upper.job import run_spmd
+
+        def leak(ep):
+            ep.close()
+            ep.eadi._credit_waiters[1 - ep.rank] = [Event(cluster.env)]
+            yield cluster.env.timeout(0)
+            return ep
+
+        endpoints = run_spmd(cluster, 2, leak)   # keep endpoints alive
+        assert endpoints
+        cluster.auditor.check_quiesce()
+
+    audit.enable()
+    try:
+        print("auditor selftest (each case must raise AuditError):")
+        expect("sim/past-event", past_event)
+        expect("sim/orphaned-waiter", orphaned_waiter)
+        expect("firmware/byte-conservation", byte_conservation)
+        expect("kernel/pin-leak", pin_leak)
+        expect("bcl/credit-overflow", credit_overflow)
+        expect("bcl/waiter-teardown", waiter_survives_teardown)
+    finally:
+        audit.disable()
+    if failures:
+        print(f"selftest FAILED: {', '.join(failures)}", file=sys.stderr)
+        return 1
+    print("selftest PASS: all checkers fire")
+    return 0
+
+
+def _cmd_audit(args) -> int:
+    from repro import audit
+    from repro.config import LOSSY_DAWNING
+    from repro.faults import FaultPlan
+    from repro.instrument.measure import measure_one_way
+
+    audit.enable()
+    try:
+        for label, kwargs in (
+                ("clean", {}),
+                ("faulted", {"cfg": LOSSY_DAWNING,
+                             "fault_plan": FaultPlan(
+                                 seed=args.seed, drop_rate=args.drop)})):
+            cluster = Cluster(n_nodes=2, **kwargs)
+            sample = measure_one_way(cluster, args.bytes,
+                                     repeats=args.messages, warmup=1)
+            cluster.env.run()   # drain to quiesce: conservation checks
+            report = cluster.auditor.report()
+            print(f"{label}: {args.messages} x {args.bytes} B  "
+                  f"{sample.latency_us:.2f} us  payloads "
+                  f"{'intact' if sample.received_payloads_ok else 'BAD'}")
+            for key, value in report.items():
+                print(f"  {key:20s} {value}")
+        print("audit: zero violations")
+    finally:
+        audit.disable()
+    if args.selftest:
+        return _audit_selftest()
+    return 0
+
+
 _COMMANDS = {
     "evaluate": _cmd_evaluate,
     "latency": _cmd_latency,
@@ -200,6 +354,7 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "report": _cmd_report,
     "faults": _cmd_faults,
+    "audit": _cmd_audit,
 }
 
 

@@ -50,7 +50,8 @@ class Cluster:
                  fault_injector: Optional[Callable[[Packet],
                                                    Optional[Packet]]] = None,
                  fault_plan: Optional[FaultPlan] = None,
-                 env: Optional[Environment] = None):
+                 env: Optional[Environment] = None,
+                 audit: Optional[bool] = None):
         if architecture not in ARCHITECTURES:
             raise ValueError(
                 f"unknown architecture {architecture!r}; "
@@ -59,6 +60,18 @@ class Cluster:
         self.cfg = cfg
         self.architecture = architecture
         self.env = env if env is not None else Environment()
+        # The invariant auditor must exist on the environment *before*
+        # nodes, network and MCPs are built, so their Stores, Resources
+        # and go-back-N flows self-register.  ``audit=None`` defers to
+        # the global switch (repro.audit.enable() / REPRO_AUDIT=1).
+        self.auditor = None
+        if audit is None:
+            from repro import audit as _audit_mod
+            audit = _audit_mod.enabled()
+        if audit:
+            from repro.audit import Auditor
+            self.auditor = getattr(self.env, "_audit", None) or \
+                Auditor(self.env)
         self.tracer = Tracer(enabled=trace)
         translation = "virtual" if architecture == "user_level" else "physical"
         self.nodes: list[Node] = [
@@ -85,6 +98,8 @@ class Cluster:
             kernel = Kernel(self.env, cfg, node, n_nodes, self.tracer)
             kernel.bcl_module = BclKernelModule(kernel, self.tracer)
             node.kernel = kernel
+        if self.auditor is not None:
+            self.auditor.bind_cluster(self)
 
     # ------------------------------------------------------------- access
     def node(self, node_id: int) -> Node:

@@ -45,7 +45,7 @@ from dataclasses import dataclass, replace
 from random import Random
 from typing import TYPE_CHECKING, Callable, List, Optional, Tuple
 
-from repro.firmware.packet import Packet, PacketType
+from repro.firmware.packet import SEQUENCED_TYPES, Packet, PacketType
 from repro.sim import Environment, Tracer, us
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -259,6 +259,29 @@ class FaultInjector:
         self.reorders = 0
         self.events: list[FaultEvent] = []
         self.listeners: list[Callable[[FaultEvent], None]] = []
+        # Per-flow ledger of removed/added wire copies of *sequenced*
+        # packets, keyed (src_nic, dst_nic).  The audit layer balances
+        # these against the go-back-N sender/receiver byte counters.
+        self.flow_drop_packets: dict[tuple[int, int], int] = {}
+        self.flow_drop_bytes: dict[tuple[int, int], int] = {}
+        self.flow_dup_packets: dict[tuple[int, int], int] = {}
+        self.flow_dup_bytes: dict[tuple[int, int], int] = {}
+
+    def _account_drop(self, packet: Packet) -> None:
+        if packet.ptype in SEQUENCED_TYPES:
+            flow = (packet.src_nic, packet.dst_nic)
+            self.flow_drop_packets[flow] = \
+                self.flow_drop_packets.get(flow, 0) + 1
+            self.flow_drop_bytes[flow] = \
+                self.flow_drop_bytes.get(flow, 0) + len(packet.payload)
+
+    def _account_dup(self, packet: Packet) -> None:
+        if packet.ptype in SEQUENCED_TYPES:
+            flow = (packet.src_nic, packet.dst_nic)
+            self.flow_dup_packets[flow] = \
+                self.flow_dup_packets.get(flow, 0) + 1
+            self.flow_dup_bytes[flow] = \
+                self.flow_dup_bytes.get(flow, 0) + len(packet.payload)
 
     # ------------------------------------------------------------- events
     def _record(self, kind: str, packet: Packet) -> None:
@@ -302,6 +325,7 @@ class FaultInjector:
                 if brownout.drop_rate >= 1.0 or \
                         self.rng.random() < brownout.drop_rate:
                     self.brownout_drops += 1
+                    self._account_drop(packet)
                     self._record("brownout_drop", packet)
                     return []
 
@@ -312,6 +336,7 @@ class FaultInjector:
                     key not in self._scripted_done:
                 self._scripted_done.add(key)
                 self.scripted_drops += 1
+                self._account_drop(packet)
                 self._record("scripted_drop", packet)
                 return []
 
@@ -327,12 +352,14 @@ class FaultInjector:
             loss = ge.loss_bad if self._ge_bad else ge.loss_good
             if loss and self.rng.random() < loss:
                 self.burst_drops += 1
+                self._account_drop(packet)
                 self._record("burst_drop", packet)
                 return []
 
         # 4. Independent per-packet faults, in fixed order.
         if plan.drop_rate and self.rng.random() < plan.drop_rate:
             self.drops += 1
+            self._account_drop(packet)
             self._record("drop", packet)
             return []
         if plan.corrupt_rate and self.rng.random() < plan.corrupt_rate:
@@ -341,6 +368,7 @@ class FaultInjector:
             return [(0, replace(packet, corrupted=True))]
         if plan.duplicate_rate and self.rng.random() < plan.duplicate_rate:
             self.duplicates += 1
+            self._account_dup(packet)
             self._record("duplicate", packet)
             return [(0, packet), (us(plan.duplicate_delay_us),
                                   replace(packet))]
@@ -376,10 +404,20 @@ class CallbackInjector:
 
     def __init__(self, fn: Callable[[Packet], Optional[Packet]]):
         self.fn = fn
+        # Same per-flow drop ledger as FaultInjector, so callback drops
+        # of sequenced packets stay visible to the audit layer.
+        self.flow_drop_packets: dict[tuple[int, int], int] = {}
+        self.flow_drop_bytes: dict[tuple[int, int], int] = {}
 
     def adjudicate(self, packet: Packet) -> Outcome:
         result = self.fn(packet)
         if result is None:
+            if packet.ptype in SEQUENCED_TYPES:
+                flow = (packet.src_nic, packet.dst_nic)
+                self.flow_drop_packets[flow] = \
+                    self.flow_drop_packets.get(flow, 0) + 1
+                self.flow_drop_bytes[flow] = \
+                    self.flow_drop_bytes.get(flow, 0) + len(packet.payload)
             return []
         return [(0, result)]
 

@@ -103,6 +103,9 @@ class Mcp:
         self.on_new_sender: Optional[Callable[[GoBackNSender], None]] = None
         #: system-channel pool buffers claimed by in-flight messages
         self._inflight_pool: dict[int, object] = {}
+        #: optional repro.audit.Auditor (registered on the environment
+        #: before cluster construction); flows self-register with it
+        self.audit = getattr(env, "_audit", None)
         nic.attach_mcp(self)
         env.process(self._send_engine(), name=f"{self.name}.send")
         env.process(self._inject_engine(), name=f"{self.name}.inject")
@@ -130,15 +133,20 @@ class Mcp:
                 name=f"{self.name}.flow{dst_nic}",
                 flow=(self.nic.node_id, dst_nic))
             self._senders[dst_nic] = sender
+            if self.audit is not None:
+                self.audit.register_sender(self, sender)
             if self.on_new_sender is not None:
                 self.on_new_sender(sender)
         return self._senders[dst_nic]
 
     def receiver_flow(self, src_nic: int) -> GoBackNReceiver:
         if src_nic not in self._receivers:
-            self._receivers[src_nic] = GoBackNReceiver(
+            receiver = GoBackNReceiver(
                 f"{self.name}.from{src_nic}",
                 rearm_ns=us(self.cfg.retransmit_timeout_us))
+            self._receivers[src_nic] = receiver
+            if self.audit is not None:
+                self.audit.register_receiver(self, src_nic, receiver)
         return self._receivers[src_nic]
 
     def _resolve(self, pid: int, vaddr: int, length: int,

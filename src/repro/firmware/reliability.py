@@ -55,6 +55,9 @@ class GoBackNSender:
         self.retransmissions = 0
         self.fast_retransmits = 0
         self.timeouts = 0
+        #: payload-byte ledger, audited against the receiver's at quiesce
+        self.bytes_registered = 0
+        self.bytes_retransmitted = 0
 
     @property
     def in_flight(self) -> int:
@@ -82,6 +85,7 @@ class GoBackNSender:
         self.next_seq += 1
         stamped = replace(packet, seq=seq)
         self._unacked[seq] = stamped
+        self.bytes_registered += len(stamped.payload)
         if seq == self.base:
             self._base_sent_at = self.env.now
             self._arm_timer()
@@ -124,6 +128,7 @@ class GoBackNSender:
         self._base_sent_at = self.env.now   # back the timer off
         for seq in sorted(self._unacked):
             self.retransmissions += 1
+            self.bytes_retransmitted += len(self._unacked[seq].payload)
             self._retransmit(self._unacked[seq])
 
     def _arm_timer(self) -> None:
@@ -144,6 +149,7 @@ class GoBackNSender:
             self._base_sent_at = self.env.now
             for seq in sorted(self._unacked):
                 self.retransmissions += 1
+                self.bytes_retransmitted += len(self._unacked[seq].payload)
                 self._retransmit(self._unacked[seq])
             yield self.env.timeout(timeout_ns)
         self._timer = None
@@ -165,6 +171,11 @@ class GoBackNReceiver:
         self.duplicates = 0
         self.out_of_order_drops = 0
         self.corrupt_drops = 0
+        #: arrival/delivery ledger, audited against the sender's at quiesce
+        self.packets_arrived = 0
+        self.bytes_arrived = 0
+        self.packets_delivered = 0
+        self.bytes_delivered = 0
         self._nacked_at = -1
         self._nacked_time: Optional[int] = None
         self._gap_seen = False
@@ -180,6 +191,8 @@ class GoBackNReceiver:
         """
         if packet.ptype not in SEQUENCED_TYPES:
             raise ValueError(f"{self.name}: accept() got {packet.ptype}")
+        self.packets_arrived += 1
+        self.bytes_arrived += len(packet.payload)
         self._gap_seen = False
         if not packet.crc_ok():
             self.corrupt_drops += 1
@@ -187,6 +200,8 @@ class GoBackNReceiver:
             return False, self.expected_seq
         if packet.seq == self.expected_seq:
             self.expected_seq += 1
+            self.packets_delivered += 1
+            self.bytes_delivered += len(packet.payload)
             return True, self.expected_seq
         if packet.seq < self.expected_seq:
             self.duplicates += 1

@@ -112,6 +112,21 @@ class Node:
             # exit: the kernel reclaims what close_port would have).
             for port_id in [p for p, s in self.nic.ports.items()
                             if s.owner_pid == pid]:
+                state = self.nic.ports[port_id]
+                # Release everything close_port would have unpinned:
+                # pool buffers are pinned directly in the address space
+                # (not via the pin-down table), so evict_pid below
+                # cannot reach them — skipping this leaks the pins.
+                for buf in state.system_pool_all.values():
+                    for vpage in proc.space.pages_of(buf.vaddr, buf.size):
+                        proc.space.unpin_page(vpage)
+                for descriptor in state.normal.values():
+                    if descriptor is not None:
+                        for vpage in descriptor.pinned_pages:
+                            proc.space.unpin_page(vpage)
+                for bound in state.open_channels.values():
+                    for vpage in bound.pinned_pages:
+                        proc.space.unpin_page(vpage)
                 self.nic.destroy_port(port_id)
                 self.bcl_ports.pop(port_id, None)
                 module = getattr(self.kernel, "bcl_module", None) \
@@ -125,3 +140,6 @@ class Node:
             self.nic.spaces.pop(pid, None)
             if self.nic.mcp is not None:
                 self.nic.mcp.tlb.invalidate(pid)
+        audit = getattr(self.env, "_audit", None)
+        if audit is not None:
+            audit.on_process_exit(self, proc)

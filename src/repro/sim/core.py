@@ -224,6 +224,19 @@ class _ConditionBase(Event):
     def _satisfied(self) -> bool:  # pragma: no cover - abstract
         raise NotImplementedError
 
+    def _on_orphaned(self) -> None:
+        # The condition lost its last waiter before triggering: detach
+        # _check from every pending constituent, and propagate
+        # orphanhood so queue-backed constituents (Store getters,
+        # Resource requests, credit gates) withdraw themselves instead
+        # of absorbing a later hand-off into a dead condition.
+        for ev in self.events:
+            cbs = ev._callbacks
+            if cbs is not _PROCESSED and cbs and self._check in cbs:
+                cbs.remove(self._check)
+                if not cbs and ev._value is _PENDING:
+                    ev._on_orphaned()
+
 
 class AllOf(_ConditionBase):
     """Succeeds when every constituent event has succeeded."""
@@ -336,7 +349,8 @@ class Process(Event):
 class Environment:
     """Owner of the virtual clock and the event heap."""
 
-    __slots__ = ("_now", "_heap", "_seq", "_active_process", "_timeout_pool")
+    __slots__ = ("_now", "_heap", "_seq", "_active_process", "_timeout_pool",
+                 "_audit")
 
     def __init__(self, initial_time: int = 0):
         self._now: int = initial_time
@@ -344,6 +358,10 @@ class Environment:
         self._seq: int = 0
         self._active_process: Optional[Process] = None
         self._timeout_pool: list[Timeout] = []
+        # Optional repro.audit.Auditor; instrumented layers look it up
+        # with getattr(env, "_audit", None) so the off-path cost is one
+        # attribute read.
+        self._audit = None
 
     @property
     def now(self) -> int:
@@ -438,6 +456,7 @@ class Environment:
         heap = self._heap
         pool = self._timeout_pool
         getrefcount = _getrefcount
+        audit = self._audit
         while True:
             if stop is not None:
                 if stop._callbacks is _PROCESSED:
@@ -450,12 +469,18 @@ class Environment:
                         f"event triggered (deadlock at t={self._now} ns)")
             elif horizon is not None:
                 if not heap or heap[0][0] > horizon:
+                    if audit is not None and not heap:
+                        audit.on_quiesce(self)
                     self._now = horizon
                     return None
             elif not heap:
+                if audit is not None:
+                    audit.on_quiesce(self)
                 return None
             # Inlined step(): one dispatch per event is the hot path.
             when, _, event = heappop(heap)
+            if audit is not None and when < self._now:
+                audit.on_past_event(event, when, self._now)
             self._now = when
             callbacks = event._callbacks
             event._callbacks = _PROCESSED

@@ -69,6 +69,9 @@ class Resource:
         self.capacity = capacity
         self._users: set[_Request] = set()
         self._queue: deque[_Request] = deque()
+        audit = getattr(env, "_audit", None)
+        if audit is not None:
+            audit.register_resource(self)
 
     @property
     def count(self) -> int:
@@ -155,6 +158,9 @@ class Store:
         #: waiters withdrawn because their process was interrupted
         self.cancelled_gets = 0
         self.cancelled_puts = 0
+        audit = getattr(env, "_audit", None)
+        if audit is not None:
+            audit.register_store(self)
 
     def __len__(self) -> int:
         return len(self._items)

@@ -11,7 +11,7 @@ byte buffers plus scratch allocation).
 
 from __future__ import annotations
 
-from typing import Callable, Generator
+from typing import Callable, Generator, Optional
 
 import numpy as np
 
@@ -27,6 +27,13 @@ REDUCE_OPS: dict[str, Callable[[np.ndarray, np.ndarray], np.ndarray]] = {
 
 #: tag space reserved for collective phases
 _TAG_BASE = 1 << 20
+#: tag distance between successive collective calls; internal phase
+#: offsets (per-round, per-rank, per-step, the +64 ring phase shift)
+#: all stay below this stride
+_EPOCH_STRIDE = 4096
+#: epochs wrap after this many calls; tags stay well inside the int32
+#: envelope field
+_EPOCH_SLOTS = 65536
 
 
 class Collectives:
@@ -36,11 +43,27 @@ class Collectives:
     ``scratch(nbytes, slot=0)`` (an allocated staging vaddr; distinct
     slots never alias), ``_send``/``_isend``/``_recv``/``_wait`` on raw
     byte buffers, and ``proc`` (the user process, for buffer access).
+
+    Every collective draws a fresh *epoch tag* per call (``tag=None``,
+    the default): back-to-back collectives on the same endpoint use
+    disjoint tag ranges, so a straggler's late messages can never
+    cross-match into the next collective — and the reserved space sits
+    at ``_TAG_BASE`` and above, far from user point-to-point tags.
+    SPMD program order keeps the per-endpoint epoch counters aligned
+    across ranks.  Passing an explicit ``tag`` keeps the legacy
+    fixed-offset behaviour.
     """
 
+    def _next_coll_tag(self) -> int:
+        epoch = getattr(self, "_coll_epoch", 0)
+        self._coll_epoch = epoch + 1
+        return _TAG_BASE + (epoch % _EPOCH_SLOTS) * _EPOCH_STRIDE
+
     # --------------------------------------------------------------- barrier
-    def barrier(self, tag: int = _TAG_BASE) -> Generator:
+    def barrier(self, tag: Optional[int] = None) -> Generator:
         """Dissemination barrier: ceil(log2(n)) rounds."""
+        if tag is None:
+            tag = self._next_coll_tag()
         n = self.size
         if n == 1:
             return
@@ -57,8 +80,10 @@ class Collectives:
 
     # ----------------------------------------------------------------- bcast
     def bcast(self, vaddr: int, nbytes: int, root: int = 0,
-              tag: int = _TAG_BASE + 64) -> Generator:
+              tag: Optional[int] = None) -> Generator:
         """Binomial-tree broadcast."""
+        if tag is None:
+            tag = self._next_coll_tag()
         n = self.size
         if n == 1:
             return
@@ -79,9 +104,11 @@ class Collectives:
 
     # ---------------------------------------------------------------- reduce
     def reduce(self, array: np.ndarray, op: str = "sum", root: int = 0,
-               tag: int = _TAG_BASE + 128) -> Generator:
+               tag: Optional[int] = None) -> Generator:
         """Binomial-tree reduction; returns the result array on the
         root (and None elsewhere).  ``array`` is the local contribution."""
+        if tag is None:
+            tag = self._next_coll_tag()
         if op not in REDUCE_OPS:
             raise ValueError(f"unknown reduction op {op!r}")
         n = self.size
@@ -108,7 +135,7 @@ class Collectives:
         return acc
 
     def allreduce(self, array: np.ndarray, op: str = "sum",
-                  tag: int = _TAG_BASE + 192,
+                  tag: Optional[int] = None,
                   algorithm: str = "tree") -> Generator:
         """Elementwise reduction visible on every rank.
 
@@ -120,6 +147,8 @@ class Collectives:
         bytes instead of ~2·n·log2 p).
         """
         if algorithm == "ring":
+            if tag is None:
+                tag = self._next_coll_tag()
             result = yield from self._allreduce_ring(array, op, tag)
             return result
         if algorithm != "tree":
@@ -129,7 +158,8 @@ class Collectives:
         buf = self.scratch(max(nbytes, 1), slot=2)
         if self.rank == 0:
             self.proc.write(buf, result.tobytes())
-        yield from self.bcast(buf, nbytes, root=0, tag=tag + 32)
+        bcast_tag = None if tag is None else tag + 32
+        yield from self.bcast(buf, nbytes, root=0, tag=bcast_tag)
         out = np.frombuffer(self.proc.read(buf, nbytes),
                             dtype=np.asarray(array).dtype)
         return out.reshape(np.asarray(array).shape)
@@ -187,12 +217,14 @@ class Collectives:
 
     # ------------------------------------------------------------------ scan
     def scan(self, array: np.ndarray, op: str = "sum",
-             tag: int = _TAG_BASE + 4096) -> Generator:
+             tag: Optional[int] = None) -> Generator:
         """Inclusive prefix reduction: rank r gets op(x_0..x_r).
 
         Linear pipeline: receive the running prefix from rank-1, fold in
         the local value, forward to rank+1.
         """
+        if tag is None:
+            tag = self._next_coll_tag()
         if op not in REDUCE_OPS:
             raise ValueError(f"unknown scan op {op!r}")
         acc = np.array(array, copy=True)
@@ -210,7 +242,7 @@ class Collectives:
 
     # --------------------------------------------------------- reduce_scatter
     def reduce_scatter(self, array: np.ndarray, op: str = "sum",
-                       tag: int = _TAG_BASE + 8192) -> Generator:
+                       tag: Optional[int] = None) -> Generator:
         """Reduce elementwise across ranks, scatter equal blocks.
 
         ``array`` has ``size * block`` elements; rank r returns block r
@@ -231,15 +263,18 @@ class Collectives:
                       for i in range(self.size)]
         else:
             blocks = None
+        scatter_tag = None if tag is None else tag + 16
         yield from self.scatter(blocks, recv_buf, block_bytes, root=0,
-                                tag=tag + 16)
+                                tag=scatter_tag)
         data = self.proc.read(recv_buf, block_bytes)
         return np.frombuffer(data, dtype=arr.dtype)
 
     # ---------------------------------------------------------------- gather
     def gather(self, vaddr: int, nbytes: int, root: int = 0,
-               tag: int = _TAG_BASE + 256) -> Generator:
+               tag: Optional[int] = None) -> Generator:
         """Linear gather; root returns the rank-ordered list of blocks."""
+        if tag is None:
+            tag = self._next_coll_tag()
         if self.rank == root:
             blocks: list[bytes] = []
             buf = self.scratch(max(nbytes, 1), slot=1)
@@ -254,8 +289,10 @@ class Collectives:
         return None
 
     def scatter(self, blocks, vaddr: int, nbytes: int, root: int = 0,
-                tag: int = _TAG_BASE + 512) -> Generator:
+                tag: Optional[int] = None) -> Generator:
         """Linear scatter of rank-ordered ``blocks`` (root only)."""
+        if tag is None:
+            tag = self._next_coll_tag()
         if self.rank == root:
             if len(blocks) != self.size:
                 raise ValueError("scatter needs one block per rank")
@@ -271,12 +308,14 @@ class Collectives:
 
     # -------------------------------------------------------------- allgather
     def allgather(self, vaddr: int, nbytes: int,
-                  tag: int = _TAG_BASE + 1024) -> Generator:
+                  tag: Optional[int] = None) -> Generator:
         """Ring allgather: n-1 steps, each forwarding the next block.
 
         Uses isend/recv/wait so the ring cannot deadlock even when the
         blocks are large enough for the rendezvous protocol.
         """
+        if tag is None:
+            tag = self._next_coll_tag()
         n = self.size
         blocks: dict[int, bytes] = {self.rank: self.proc.read(vaddr, nbytes)}
         if n == 1:
@@ -297,9 +336,11 @@ class Collectives:
 
     # --------------------------------------------------------------- alltoall
     def alltoall(self, blocks, nbytes: int,
-                 tag: int = _TAG_BASE + 2048) -> Generator:
+                 tag: Optional[int] = None) -> Generator:
         """Shifted-round alltoall of one block per peer (deadlock-free
         via isend/recv/wait, any rank count)."""
+        if tag is None:
+            tag = self._next_coll_tag()
         n = self.size
         if len(blocks) != n:
             raise ValueError("alltoall needs one block per rank")

@@ -129,6 +129,31 @@ class _RendezvousIn:
     channel: int = -1
 
 
+class _CreditGate(Event):
+    """A parked credit waiter that withdraws itself when orphaned.
+
+    If the waiting process is interrupted while parked (the engine
+    strips the last callback off the untriggered gate), the gate leaves
+    its endpoint's ``_credit_waiters`` list instead of lingering there —
+    the same discipline Store/Resource waiters follow.
+    """
+
+    __slots__ = ("endpoint", "dst_rank")
+
+    def __init__(self, endpoint: "EadiEndpoint", dst_rank: int):
+        super().__init__(endpoint.env)
+        self.endpoint = endpoint
+        self.dst_rank = dst_rank
+
+    def _on_orphaned(self) -> None:
+        waiters = self.endpoint._credit_waiters.get(self.dst_rank)
+        if waiters and self in waiters:
+            waiters.remove(self)
+            self.endpoint.withdrawn_waiters += 1
+            if not waiters:
+                del self.endpoint._credit_waiters[self.dst_rank]
+
+
 class EadiEndpoint:
     """One rank's EADI instance, layered on a BCL (or user-level) port."""
 
@@ -179,6 +204,13 @@ class EadiEndpoint:
         self.eager_sends = 0
         self.rendezvous_sends = 0
         self.unexpected_count = 0
+        #: waiters removed because their process was interrupted or the
+        #: endpoint was torn down
+        self.withdrawn_waiters = 0
+        self.closed = False
+        self._audit = getattr(self.env, "_audit", None)
+        if self._audit is not None:
+            self._audit.register_eadi(self)
 
     # ------------------------------------------------------------- helpers
     def _charge(self, cost_us: float, stage: str) -> Generator:
@@ -215,7 +247,7 @@ class EadiEndpoint:
         if credits <= 0:
             self.credit_stalls += 1
         while self._credits[dst_rank] <= 0:
-            gate = Event(self.env)
+            gate = _CreditGate(self, dst_rank)
             self._credit_waiters.setdefault(dst_rank, []).append(gate)
             yield self.env.any_of([gate,
                                    self.port.recv_queue.wakeup_event(),
@@ -226,6 +258,8 @@ class EadiEndpoint:
     def _release_credits(self, src_rank: int, count: int) -> None:
         self._credits[src_rank] = \
             self._credits.setdefault(src_rank, self._credits_initial) + count
+        if self._audit is not None:
+            self._audit.check_credits(self, src_rank)
         waiters = self._credit_waiters.pop(src_rank, [])
         for gate in waiters:
             if not gate.triggered:
@@ -243,6 +277,25 @@ class EadiEndpoint:
                 consume_credit=False)
         else:
             self._owed[src_rank] = owed
+
+    # -------------------------------------------------------------- teardown
+    def close(self) -> None:
+        """Tear down the endpoint: withdraw every parked credit and
+        channel waiter so none survives into a dead endpoint.
+
+        Deliberately *not* a generator — teardown must be callable from
+        plain (non-process) cleanup paths and costs nothing.  Idempotent.
+        """
+        if self.closed:
+            return
+        for waiters in self._credit_waiters.values():
+            self.withdrawn_waiters += len(waiters)
+        self._credit_waiters.clear()
+        self.withdrawn_waiters += len(self._channel_waiters)
+        self._channel_waiters.clear()
+        self.closed = True
+        if self._audit is not None:
+            self._audit.on_eadi_teardown(self)
 
     # -------------------------------------------------------------- sending
     def isend(self, dst_rank: int, vaddr: int, nbytes: int,

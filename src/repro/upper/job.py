@@ -91,7 +91,14 @@ def run_spmd(cluster: Cluster, n_ranks: int,
         # Everybody must have a port before anyone sends.
         while len(job.endpoints) < n_ranks:
             yield env.timeout(1000)
-        result = yield from fn(endpoint)
+        try:
+            result = yield from fn(endpoint)
+        finally:
+            # Endpoint teardown withdraws any parked credit/channel
+            # waiters (audited: none may survive close()).
+            close = getattr(endpoint, "close", None)
+            if close is not None:
+                close()
         return result
 
     procs = [env.process(rank_main(rank), name=f"rank{rank}")

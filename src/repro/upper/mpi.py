@@ -125,17 +125,44 @@ class MpiEndpoint(Collectives):
     def _wait(self, op) -> Generator:
         yield from self.wait(op)
 
+    # ------------------------------------------------------------ teardown
+    def close(self) -> None:
+        """Tear down the endpoint (delegates to the EADI layer)."""
+        self.eadi.close()
+
     # ------------------------------------------------------- numpy sugar
+    # The send and receive paths stage through *distinct* scratch slots:
+    # with both on slot 0, a concurrent isend_array + recv_array of
+    # same-sized arrays (the halo-exchange pattern) would share one
+    # buffer and the inbound payload would overwrite the outbound one
+    # before the rendezvous read it.  Slots 1-5 belong to collectives.
+    _SEND_SLOT = 6
+    _RECV_SLOT = 7
+
     def send_array(self, dst_rank: int, array: np.ndarray,
                    tag: int = 0) -> Generator:
         data = np.ascontiguousarray(array).tobytes()
-        buf = self.scratch(max(len(data), 1))
+        buf = self.scratch(max(len(data), 1), slot=self._SEND_SLOT)
         self.proc.write(buf, data)
         yield from self.send(dst_rank, buf, len(data), tag)
 
+    def isend_array(self, dst_rank: int, array: np.ndarray,
+                    tag: int = 0) -> Generator:
+        """Non-blocking :meth:`send_array`; returns the send handle.
+
+        The payload is staged into the send slot up front, so the array
+        may be reused immediately; the scratch slot itself must not be
+        re-staged until the handle completes.
+        """
+        data = np.ascontiguousarray(array).tobytes()
+        buf = self.scratch(max(len(data), 1), slot=self._SEND_SLOT)
+        self.proc.write(buf, data)
+        op = yield from self.isend(dst_rank, buf, len(data), tag)
+        return op
+
     def recv_array(self, src_rank: int, tag: int, dtype, shape) -> Generator:
         nbytes = int(np.dtype(dtype).itemsize * int(np.prod(shape)))
-        buf = self.scratch(max(nbytes, 1))
+        buf = self.scratch(max(nbytes, 1), slot=self._RECV_SLOT)
         yield from self.recv(src_rank, tag, buf, nbytes)
         data = self.proc.read(buf, nbytes)
         return np.frombuffer(data, dtype=dtype).reshape(shape)

@@ -59,6 +59,10 @@ class PvmTask(Collectives):
     def tid(self) -> int:
         return self.rank
 
+    def close(self) -> None:
+        """Tear down the task (delegates to the EADI layer)."""
+        self.eadi.close()
+
     # ------------------------------------------------------------- packing
     def initsend(self) -> None:
         """Reset the send buffer (PvmDataDefault)."""

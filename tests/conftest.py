@@ -18,6 +18,29 @@ settings.register_profile(
 settings.load_profile("repro")
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--audit", action="store_true", default=False,
+        help="attach the runtime invariant auditor to every Cluster "
+             "built during the suite (violations raise AuditError)")
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _global_audit(request):
+    """With ``pytest --audit``, every Cluster the suite builds carries
+    the invariant auditor; sim-core, firmware, kernel and BCL checkers
+    run against the whole tier-1 suite."""
+    if not request.config.getoption("--audit"):
+        yield
+        return
+    from repro import audit
+    audit.enable()
+    try:
+        yield
+    finally:
+        audit.disable()
+
+
 @pytest.fixture
 def env() -> Environment:
     return Environment()

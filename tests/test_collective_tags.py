@@ -1,0 +1,103 @@
+"""Collective tag isolation: every collective call draws a fresh tag
+epoch, so back-to-back collectives and user point-to-point traffic in
+the reserved range can no longer cross-match."""
+
+import numpy as np
+
+from repro.cluster import Cluster
+from repro.upper.collectives import (
+    _EPOCH_SLOTS, _EPOCH_STRIDE, _TAG_BASE, Collectives)
+from repro.upper.job import run_spmd
+
+
+class _Bare(Collectives):
+    pass
+
+
+def test_epoch_tags_are_distinct_and_strided():
+    c = _Bare()
+    tags = [c._next_coll_tag() for _ in range(5)]
+    assert len(set(tags)) == 5
+    assert tags[0] == _TAG_BASE
+    assert all(b - a == _EPOCH_STRIDE for a, b in zip(tags, tags[1:]))
+
+
+def test_epoch_counter_wraps():
+    c = _Bare()
+    c._coll_epoch = _EPOCH_SLOTS
+    assert c._next_coll_tag() == _TAG_BASE
+
+
+def test_epochs_are_per_endpoint_instance():
+    a, b = _Bare(), _Bare()
+    assert a._next_coll_tag() == b._next_coll_tag()
+
+
+def test_explicit_tag_still_honoured():
+    cluster = Cluster(n_nodes=2)
+
+    def fn(ep):
+        out = yield from ep.allreduce(np.array([ep.rank + 1.0]),
+                                      tag=_TAG_BASE + 192)
+        return float(out[0])
+
+    assert run_spmd(cluster, 2, fn) == [3.0, 3.0]
+
+
+def test_back_to_back_collectives():
+    """Four collectives in a row on one endpoint: each draws its own
+    epoch, so straggler traffic from one cannot satisfy the next."""
+    cluster = Cluster(n_nodes=2)
+
+    def fn(ep):
+        yield from ep.barrier()
+        total = yield from ep.allreduce(np.array([float(ep.rank)]))
+        peak = yield from ep.allreduce(np.array([float(ep.rank)]),
+                                       op="max")
+        buf = ep.proc.alloc(8)
+        ep.proc.write(buf, np.float64(ep.rank).tobytes())
+        blocks = yield from ep.gather(buf, 8, root=0)
+        gathered = (None if blocks is None else
+                    [float(np.frombuffer(b, np.float64)[0])
+                     for b in blocks])
+        # barrier + gather draw one epoch each; each tree allreduce
+        # draws two (its reduce and bcast sub-calls) — identically on
+        # every rank, which is what keeps the tags matched.
+        assert ep._coll_epoch == 6
+        return float(total[0]), float(peak[0]), gathered
+
+    r0, r1 = run_spmd(cluster, 4, fn, placement=[0, 1, 0, 1])[:2]
+    assert r0 == (6.0, 3.0, [0.0, 1.0, 2.0, 3.0])
+    assert r1 == (6.0, 3.0, None)
+
+
+def test_user_traffic_in_reserved_range_does_not_cross_match():
+    """A posted user irecv whose tag lands inside the collective range
+    must not swallow collective traffic (and vice versa)."""
+    cluster = Cluster(n_nodes=2)
+    user_tag = _TAG_BASE + 64          # a legacy fixed collective tag
+    payload = b"u" * 64
+
+    def fn(ep):
+        buf = ep.proc.alloc(1024)
+        if ep.rank == 1:
+            op = yield from ep.irecv(0, user_tag, buf, 1024)
+        ep.proc.write(buf if ep.rank == 0 else buf + 512,
+                      np.float64(7.0).tobytes())
+        yield from ep.bcast(buf if ep.rank == 0 else buf + 512, 8,
+                            root=0)
+        got = np.frombuffer(
+            ep.proc.read(buf if ep.rank == 0 else buf + 512, 8),
+            np.float64)[0]
+        if ep.rank == 0:
+            msg = ep.proc.alloc(len(payload))
+            ep.proc.write(msg, payload)
+            yield from ep.send(1, msg, len(payload), user_tag)
+            return got, None
+        status = yield from ep.wait(op)
+        assert status.length == len(payload)
+        return got, ep.proc.read(buf, len(payload))
+
+    r0, r1 = run_spmd(cluster, 2, fn)
+    assert r0[0] == 7.0 and r1[0] == 7.0   # bcast intact
+    assert r1[1] == payload                # user message intact

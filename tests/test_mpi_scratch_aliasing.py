@@ -1,0 +1,77 @@
+"""Regression: MpiEndpoint.send_array/recv_array staged through the
+same scratch slot, so an incoming message could overwrite a pending
+rendezvous payload before the CTS pulled it off the staging buffer."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster
+from repro.upper.job import run_spmd
+from repro.upper.mpi import MpiEndpoint
+
+N = 2048  # 16384 B of float64: well above the 4096 B eager threshold
+
+
+def _exchange(cluster):
+    """isend_array parked on its RTS while the full counter-message
+    lands — the ordering that exposed the shared-slot bug."""
+
+    def fn(ep):
+        mine = np.full(N, float(ep.rank + 1))
+        if ep.rank == 0:
+            op = yield from ep.isend_array(1, mine, tag=7)
+            got = yield from ep.recv_array(1, 8, np.float64, (N,))
+            yield from ep.wait(op)
+        else:
+            yield from ep.send_array(0, mine, tag=8)
+            got = yield from ep.recv_array(0, 7, np.float64, (N,))
+        return got
+
+    return run_spmd(cluster, 2, fn)
+
+
+def test_rendezvous_exchange_uses_distinct_slots():
+    r0, r1 = _exchange(Cluster(n_nodes=2))
+    assert np.all(r0 == 2.0)
+    assert np.all(r1 == 1.0)          # aliased slots echoed 2.0 back
+
+
+def test_aliased_slots_reproduce_the_bug(monkeypatch):
+    """The detector detects: re-aliasing the slots corrupts the
+    exchange, proving the test above guards the real failure mode."""
+    monkeypatch.setattr(MpiEndpoint, "_RECV_SLOT",
+                        MpiEndpoint._SEND_SLOT)
+    r0, r1 = _exchange(Cluster(n_nodes=2))
+    assert not np.all(r1 == 1.0)
+
+
+def test_symmetric_halo_exchange():
+    cluster = Cluster(n_nodes=2)
+
+    def fn(ep):
+        peer = 1 - ep.rank
+        mine = np.arange(N, dtype=np.float64) + ep.rank * 10_000
+        op = yield from ep.isend_array(peer, mine, tag=3)
+        got = yield from ep.recv_array(peer, 3, np.float64, (N,))
+        yield from ep.wait(op)
+        return got
+
+    r0, r1 = run_spmd(cluster, 2, fn)
+    assert np.array_equal(r0, np.arange(N, dtype=np.float64) + 10_000)
+    assert np.array_equal(r1, np.arange(N, dtype=np.float64))
+
+
+def test_eager_exchange_roundtrip():
+    cluster = Cluster(n_nodes=2)
+    n = 256                            # 2048 B: eager path
+
+    def fn(ep):
+        peer = 1 - ep.rank
+        mine = np.full(n, float(ep.rank + 1), dtype=np.float64)
+        op = yield from ep.isend_array(peer, mine, tag=1)
+        got = yield from ep.recv_array(peer, 1, np.float64, (n,))
+        yield from ep.wait(op)
+        return got
+
+    r0, r1 = run_spmd(cluster, 2, fn)
+    assert np.all(r0 == 2.0) and np.all(r1 == 1.0)
