@@ -13,6 +13,10 @@ Commands:
 * ``audit``      — run clean and faulted transfers with the runtime
   invariant auditor attached and print the checker summary
   (``--selftest`` proves each checker fires on a seeded violation)
+* ``fuzz``       — seeded schedule-perturbation fuzzing: random
+  workloads run under shuffled tie-break seeds and checked by
+  differential delivery oracles (``--shrink`` minimizes failures to
+  ready-to-commit regression tests)
 """
 
 from __future__ import annotations
@@ -96,6 +100,30 @@ def build_parser() -> argparse.ArgumentParser:
     au.add_argument("--selftest", action="store_true",
                     help="also inject one deliberate violation per "
                          "checker and confirm each raises AuditError")
+
+    fz = sub.add_parser("fuzz",
+                        help="schedule-perturbation fuzzing: random "
+                             "workloads under shuffled tie-break seeds, "
+                             "checked by differential delivery oracles")
+    fz.add_argument("--seed", type=int, default=1,
+                    help="campaign base seed; workload and schedule "
+                         "seeds are derived from it (default 1)")
+    fz.add_argument("--runs", type=int, default=50, metavar="K",
+                    help="number of random workloads (default 50)")
+    fz.add_argument("--schedules", type=int, default=5, metavar="N",
+                    help="tie-break seeds per workload (default 5)")
+    fz.add_argument("--max-ops", type=int, default=10,
+                    help="max operations per workload (default 10)")
+    fz.add_argument("--no-faults", action="store_true",
+                    help="generate only fault-free workloads")
+    fz.add_argument("--shrink", action="store_true",
+                    help="delta-debug each failure to a minimal "
+                         "reproducer and emit a regression test")
+    fz.add_argument("--out", metavar="DIR", default=None,
+                    help="write emitted regression tests here "
+                         "(default: print to stdout)")
+    fz.add_argument("--quiet", action="store_true",
+                    help="suppress the per-workload progress line")
     return parser
 
 
@@ -346,6 +374,54 @@ def _cmd_audit(args) -> int:
     return 0
 
 
+def _cmd_fuzz(args) -> int:
+    import os
+
+    from repro.fuzz import emit_regression_test, run_campaign
+
+    def progress(index, spec, failure):
+        if args.quiet:
+            return
+        verdict = "ok" if failure is None else f"FAIL[{failure.oracle}]"
+        print(f"  [{index + 1:3d}/{args.runs}] {spec.describe():72s} "
+              f"{verdict}")
+
+    print(f"fuzz: seed={args.seed} runs={args.runs} "
+          f"schedules={args.schedules} max-ops={args.max_ops}"
+          f"{' (fault-free)' if args.no_faults else ''}")
+    result = run_campaign(args.seed, args.runs,
+                          n_schedules=args.schedules,
+                          max_ops=args.max_ops,
+                          allow_faults=not args.no_faults,
+                          shrink=args.shrink,
+                          progress=progress)
+    mix = ", ".join(f"{layer} x{count}"
+                    for layer, count in sorted(result.by_layer.items()))
+    print(f"fuzz: {result.checked} workloads checked ({mix}) under "
+          f"tie-break seeds {list(result.schedule_seeds)}")
+    if result.ok:
+        print("fuzz: all oracles passed")
+        return 0
+    for failure in result.failures:
+        print(f"fuzz: {failure.describe()}")
+    for index, shrunk in enumerate(result.shrunk):
+        name = f"fuzz_seed{args.seed}_case{index}"
+        print(f"fuzz: shrunk to {len(shrunk.spec.ops)} ops in "
+              f"{shrunk.evals} evals: {shrunk.spec.describe()}")
+        source = emit_regression_test(shrunk, name)
+        if args.out:
+            os.makedirs(args.out, exist_ok=True)
+            path = os.path.join(args.out, f"test_{name}.py")
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write(source)
+            print(f"fuzz: regression test written to {path}")
+        else:
+            print("fuzz: regression test source:\n")
+            print(source)
+    print(f"fuzz: {len(result.failures)} workload(s) failed")
+    return 1
+
+
 _COMMANDS = {
     "evaluate": _cmd_evaluate,
     "latency": _cmd_latency,
@@ -355,6 +431,7 @@ _COMMANDS = {
     "report": _cmd_report,
     "faults": _cmd_faults,
     "audit": _cmd_audit,
+    "fuzz": _cmd_fuzz,
 }
 
 

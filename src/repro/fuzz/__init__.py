@@ -1,0 +1,48 @@
+"""repro.fuzz: schedule-perturbation and workload fuzzing.
+
+The pieces:
+
+* :mod:`repro.fuzz.policies` — pluggable same-instant tie-break
+  ordering for the event engine (FIFO default; seeded shuffle);
+* :mod:`repro.fuzz.generator` — seeded random workloads over the BCL /
+  EADI / MPI / PVM layers, and a runner producing canonical delivery
+  records;
+* :mod:`repro.fuzz.oracles` — differential oracles (schedule
+  equivalence, audit transparency, fault differential, crash);
+* :mod:`repro.fuzz.shrinker` — ddmin minimization of failing
+  (workload, seed) pairs + regression-test code generation;
+* :mod:`repro.fuzz.campaign` — the seeded end-to-end campaign the
+  ``repro fuzz`` CLI drives.
+"""
+
+from repro.fuzz.campaign import CampaignResult, run_campaign, \
+    schedule_seeds_for
+from repro.fuzz.generator import OpSpec, RunResult, WorkloadSpec, \
+    generate_workload, run_workload, workload_seed
+from repro.fuzz.oracles import DEFAULT_SCHEDULE_SEEDS, OracleFailure, \
+    verify_workload
+from repro.fuzz.policies import FifoTieBreak, ShuffledTieBreak, \
+    TieBreakPolicy
+from repro.fuzz.shrinker import ShrinkResult, emit_regression_test, \
+    shrink_failure
+
+__all__ = [
+    "CampaignResult",
+    "DEFAULT_SCHEDULE_SEEDS",
+    "FifoTieBreak",
+    "OpSpec",
+    "OracleFailure",
+    "RunResult",
+    "ShrinkResult",
+    "ShuffledTieBreak",
+    "TieBreakPolicy",
+    "WorkloadSpec",
+    "emit_regression_test",
+    "generate_workload",
+    "run_campaign",
+    "run_workload",
+    "schedule_seeds_for",
+    "shrink_failure",
+    "verify_workload",
+    "workload_seed",
+]

@@ -1,0 +1,234 @@
+"""Delta-debugging shrinker for failing (workload, seed) pairs.
+
+Given a workload that fails an oracle, :func:`shrink_failure` minimizes
+it while preserving the failure:
+
+1. **ddmin over ops** — classic delta debugging on the op list
+   (remove chunks, halving granularity) so the reproducer keeps only
+   the ops that matter;
+2. **size ladder** — shrink each surviving op's payload toward small
+   round sizes (0, 1, 64, 4096, ...), keeping a size only if the
+   failure survives;
+3. **fault-plan simplification** — drop the plan entirely, then zero
+   individual rates / fields;
+4. **topology compaction** — fewer ranks (dropping ops that involve
+   removed ranks) and fewer nodes;
+5. **schedule-seed reduction** — keep only the single tie-break seed
+   that reproduces the failure.
+
+Every candidate is re-verified with the *same* oracle battery, so the
+minimized spec provably still fails.  :func:`emit_regression_test`
+renders the result as a self-contained pytest module, ready to drop
+into ``tests/regressions/``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Optional, Sequence
+
+from repro.fuzz.generator import OpSpec, WorkloadSpec
+from repro.fuzz.oracles import OracleFailure, verify_workload
+
+__all__ = ["ShrinkResult", "shrink_failure", "emit_regression_test"]
+
+#: payload sizes the ladder tries, smallest first
+_SIZE_LADDER = (0, 1, 64, 1024, 4096, 4097, 65536, 65537)
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of a shrink: the minimized spec and its failure."""
+
+    spec: WorkloadSpec
+    failure: OracleFailure
+    schedule_seeds: tuple[int, ...]
+    evals: int                     # oracle batteries spent shrinking
+
+
+class _Budget:
+    """Bounded oracle evaluations with a last-failure cache."""
+
+    def __init__(self, schedule_seeds: Sequence[int], max_evals: int,
+                 check: Callable[..., Optional[OracleFailure]]):
+        self.schedule_seeds = tuple(schedule_seeds)
+        self.max_evals = max_evals
+        self.evals = 0
+        self._check = check
+
+    def exhausted(self) -> bool:
+        return self.evals >= self.max_evals
+
+    def fails(self, spec: WorkloadSpec) -> Optional[OracleFailure]:
+        """Does ``spec`` still fail?  None once the budget is gone."""
+        if self.exhausted() or not spec.ops:
+            return None
+        self.evals += 1
+        try:
+            return self._check(spec, schedule_seeds=self.schedule_seeds)
+        except Exception:  # noqa: BLE001 - a crashing candidate "fails"
+            return None    # ...but unreproducibly: treat as not-failing
+
+
+def _renumber(ops: Sequence[OpSpec]) -> tuple[OpSpec, ...]:
+    """Tags are op indices; keep that invariant while deleting ops."""
+    return tuple(replace(op, tag=index) for index, op in enumerate(ops))
+
+
+def _ddmin_ops(spec: WorkloadSpec, failure: OracleFailure,
+               budget: _Budget) -> tuple[WorkloadSpec, OracleFailure]:
+    """Minimize spec.ops by delta debugging (Zeller's ddmin)."""
+    ops = list(spec.ops)
+    granularity = 2
+    while len(ops) >= 2 and not budget.exhausted():
+        chunk = max(1, len(ops) // granularity)
+        reduced = False
+        start = 0
+        while start < len(ops) and not budget.exhausted():
+            candidate_ops = ops[:start] + ops[start + chunk:]
+            candidate = replace(spec, ops=_renumber(candidate_ops))
+            got = budget.fails(candidate)
+            if got is not None:
+                ops = candidate_ops
+                spec, failure = candidate, got
+                granularity = max(granularity - 1, 2)
+                reduced = True
+            else:
+                start += chunk
+        if not reduced:
+            if granularity >= len(ops):
+                break
+            granularity = min(len(ops), granularity * 2)
+    return spec, failure
+
+
+def _shrink_sizes(spec: WorkloadSpec, failure: OracleFailure,
+                  budget: _Budget) -> tuple[WorkloadSpec, OracleFailure]:
+    for index, op in enumerate(spec.ops):
+        for size in _SIZE_LADDER:
+            if size >= op.nbytes or budget.exhausted():
+                break
+            ops = list(spec.ops)
+            ops[index] = replace(op, nbytes=size)
+            candidate = replace(spec, ops=tuple(ops))
+            got = budget.fails(candidate)
+            if got is not None:
+                spec, failure = candidate, got
+                break
+    return spec, failure
+
+
+def _simplify_plan(spec: WorkloadSpec, failure: OracleFailure,
+                   budget: _Budget) -> tuple[WorkloadSpec, OracleFailure]:
+    if spec.fault_plan is None:
+        return spec, failure
+    candidate = replace(spec, fault_plan=None)
+    got = budget.fails(candidate)
+    if got is not None:
+        return candidate, got
+    for field_name, null in (("drop_rate", 0.0), ("corrupt_rate", 0.0),
+                             ("duplicate_rate", 0.0), ("reorder_rate", 0.0),
+                             ("drop_seqs", ()), ("burst", None),
+                             ("brownouts", ())):
+        if budget.exhausted():
+            break
+        if getattr(spec.fault_plan, field_name) == null:
+            continue
+        plan = replace(spec.fault_plan, **{field_name: null})
+        candidate = replace(spec, fault_plan=plan)
+        got = budget.fails(candidate)
+        if got is not None:
+            spec, failure = candidate, got
+    return spec, failure
+
+
+def _compact_topology(spec: WorkloadSpec, failure: OracleFailure,
+                      budget: _Budget) -> tuple[WorkloadSpec, OracleFailure]:
+    # Drop the highest rank (and every op touching it) while possible.
+    while spec.n_ranks > 2 and not budget.exhausted():
+        gone = spec.n_ranks - 1
+        ops = _renumber([op for op in spec.ops
+                         if gone not in (op.src, op.dst)])
+        if not ops:
+            break
+        candidate = replace(
+            spec, n_ranks=gone, ops=ops,
+            placement=spec.placement[:gone],
+            n_nodes=max(max(spec.placement[:gone]) + 1, 1))
+        got = budget.fails(candidate)
+        if got is None:
+            break
+        spec, failure = candidate, got
+    # Fold everything onto one node (all-intra-node reproducer).
+    if spec.n_nodes > 1 and not budget.exhausted():
+        candidate = replace(spec, n_nodes=1,
+                            placement=(0,) * spec.n_ranks)
+        got = budget.fails(candidate)
+        if got is not None:
+            spec, failure = candidate, got
+    return spec, failure
+
+
+def shrink_failure(spec: WorkloadSpec, failure: OracleFailure,
+                   schedule_seeds: Sequence[int],
+                   max_evals: int = 200,
+                   check: Callable[..., Optional[OracleFailure]]
+                   = verify_workload) -> ShrinkResult:
+    """Minimize a failing workload; every reduction is re-verified."""
+    budget = _Budget(schedule_seeds, max_evals, check)
+    # Single-seed reduction first: it divides the cost of every
+    # subsequent candidate evaluation by len(schedule_seeds).
+    if failure.schedule_seed is not None and len(budget.schedule_seeds) > 1:
+        narrow = _Budget((failure.schedule_seed,), max_evals, check)
+        narrow.evals = budget.evals
+        if narrow.fails(spec) is not None:
+            budget = narrow
+        else:
+            budget.evals = narrow.evals
+    spec, failure = _ddmin_ops(spec, failure, budget)
+    spec, failure = _shrink_sizes(spec, failure, budget)
+    spec, failure = _simplify_plan(spec, failure, budget)
+    spec, failure = _compact_topology(spec, failure, budget)
+    # One more ddmin pass: topology/size shrinks often unlock deletions.
+    spec, failure = _ddmin_ops(spec, failure, budget)
+    return ShrinkResult(spec=spec, failure=failure,
+                        schedule_seeds=budget.schedule_seeds,
+                        evals=budget.evals)
+
+
+# ------------------------------------------------------------- code gen
+_TEST_TEMPLATE = '''\
+"""Auto-generated fuzz regression: {oracle} oracle failure.
+
+Found by `repro fuzz` and minimized by the delta-debugging shrinker.
+Original detail:
+{detail}
+"""
+
+from repro.faults import Brownout, FaultPlan, GilbertElliott
+from repro.fuzz.generator import OpSpec, WorkloadSpec
+from repro.fuzz.oracles import verify_workload
+
+
+def test_{name}():
+    spec = {spec!r}
+    failure = verify_workload(spec, schedule_seeds={seeds!r})
+    assert failure is None, failure.describe()
+'''
+
+
+def emit_regression_test(result: ShrinkResult, name: str) -> str:
+    """Render a shrunk failure as a pytest module (as source text).
+
+    The emitted test *asserts the oracles pass* — it is red on the
+    broken tree it was found on and goes green when the bug is fixed,
+    which is the shape a committed regression test needs.
+    """
+    detail = "\n".join("    " + line
+                       for line in result.failure.detail.splitlines())
+    safe = "".join(c if c.isalnum() else "_" for c in name).strip("_")
+    return _TEST_TEMPLATE.format(oracle=result.failure.oracle,
+                                 detail=detail or "    (none)",
+                                 name=safe or "fuzz_regression",
+                                 spec=result.spec,
+                                 seeds=tuple(result.schedule_seeds))

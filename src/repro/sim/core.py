@@ -26,6 +26,17 @@ loop is tuned:
   reused;
 * :meth:`Environment.run` processes events in an inlined loop instead
   of dispatching through :meth:`step` per event.
+
+Same-instant ordering is *pluggable*: the heap key of an event is
+``(time, tie_key)`` where ``tie_key`` defaults to the scheduling
+sequence number (strict FIFO — byte-identical to the historical
+behaviour).  An :class:`Environment` built with a ``tie_break`` policy
+(any object with a ``key(when, seq) -> int`` method, see
+:mod:`repro.fuzz.policies`) maps each ``(when, seq)`` pair to an
+alternative key, deterministically permuting events that share a
+timestamp.  Every permutation a policy can produce is a legal schedule
+of the simulated machine; the fuzz harness uses this to explore
+tie-break orderings the default FIFO run never exercises.
 """
 
 from __future__ import annotations
@@ -127,8 +138,12 @@ class Event:
         self._value = value
         self._scheduled = True
         env = self.env
-        heappush(env._heap, (env._now, env._seq, self))
-        env._seq += 1
+        tb = env._tie_break
+        seq = env._seq
+        heappush(env._heap,
+                 (env._now, seq if tb is None else tb.key(env._now, seq),
+                  self))
+        env._seq = seq + 1
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -141,8 +156,12 @@ class Event:
         self._value = exception
         self._scheduled = True
         env = self.env
-        heappush(env._heap, (env._now, env._seq, self))
-        env._seq += 1
+        tb = env._tie_break
+        seq = env._seq
+        heappush(env._heap,
+                 (env._now, seq if tb is None else tb.key(env._now, seq),
+                  self))
+        env._seq = seq + 1
         return self
 
     def defuse(self) -> None:
@@ -179,8 +198,12 @@ class Timeout(Event):
         self._defused = False
         self._scheduled = True
         self.delay = delay
-        heappush(env._heap, (env._now + delay, env._seq, self))
-        env._seq += 1
+        when = env._now + delay
+        tb = env._tie_break
+        seq = env._seq
+        heappush(env._heap,
+                 (when, seq if tb is None else tb.key(when, seq), self))
+        env._seq = seq + 1
 
 
 class _ConditionBase(Event):
@@ -347,12 +370,20 @@ class Process(Event):
 
 
 class Environment:
-    """Owner of the virtual clock and the event heap."""
+    """Owner of the virtual clock and the event heap.
+
+    ``tie_break`` selects the same-instant ordering policy: ``None``
+    (the default) keeps strict FIFO scheduling order and is
+    byte-identical to an environment without the hook; any object with
+    a ``key(when, seq) -> int`` method (e.g.
+    :class:`repro.fuzz.policies.ShuffledTieBreak`) replaces the heap
+    tie key, deterministically permuting same-timestamp events.
+    """
 
     __slots__ = ("_now", "_heap", "_seq", "_active_process", "_timeout_pool",
-                 "_audit")
+                 "_audit", "_tie_break")
 
-    def __init__(self, initial_time: int = 0):
+    def __init__(self, initial_time: int = 0, tie_break=None):
         self._now: int = initial_time
         self._heap: list[tuple[int, int, Event]] = []
         self._seq: int = 0
@@ -362,6 +393,17 @@ class Environment:
         # with getattr(env, "_audit", None) so the off-path cost is one
         # attribute read.
         self._audit = None
+        if tie_break is not None and not callable(
+                getattr(tie_break, "key", None)):
+            raise SimulationError(
+                f"tie_break policy {tie_break!r} has no key(when, seq) "
+                "method")
+        self._tie_break = tie_break
+
+    @property
+    def tie_break(self):
+        """The installed tie-break policy (``None`` = strict FIFO)."""
+        return self._tie_break
 
     @property
     def now(self) -> int:
@@ -388,8 +430,12 @@ class Environment:
             t._ok = True
             t._defused = False
             t.delay = delay
-            heappush(self._heap, (self._now + delay, self._seq, t))
-            self._seq += 1
+            when = self._now + delay
+            tb = self._tie_break
+            seq = self._seq
+            heappush(self._heap,
+                     (when, seq if tb is None else tb.key(when, seq), t))
+            self._seq = seq + 1
             return t
         return Timeout(self, delay, value)
 
@@ -407,8 +453,12 @@ class Environment:
         if event._scheduled:
             raise SimulationError(f"{event!r} already scheduled")
         event._scheduled = True
-        heappush(self._heap, (self._now + delay, self._seq, event))
-        self._seq += 1
+        when = self._now + delay
+        tb = self._tie_break
+        seq = self._seq
+        heappush(self._heap,
+                 (when, seq if tb is None else tb.key(when, seq), event))
+        self._seq = seq + 1
 
     def peek(self) -> Optional[int]:
         """Time of the next scheduled event, or None if the heap is empty."""

@@ -1,0 +1,52 @@
+"""Pinned fuzz cases guarding past bug families under schedule
+perturbation.
+
+Each spec is small and hand-checked; the oracles run it under several
+shuffled tie-break seeds, so any regression of these layers that is
+schedule- or fault-sensitive trips here before a full fuzz campaign
+does.  The bug families:
+
+* go-back-N exactly-once under scripted first-copy loss plus random
+  duplication (PR 1's NACK dedup re-arm, PR 2's injector ledgers);
+* rendezvous scratch aliasing in concurrent bidirectional MPI traffic
+  (PR 3's send/recv scratch-slot aliasing);
+* system-channel vs normal-channel ordering on the raw BCL surface,
+  intra- and inter-node (doorbell vs poll races).
+"""
+
+from repro.faults import FaultPlan
+from repro.fuzz.generator import OpSpec, WorkloadSpec
+from repro.fuzz.oracles import verify_workload
+
+
+def _check(spec):
+    failure = verify_workload(spec, schedule_seeds=(1, 2, 3))
+    assert failure is None, failure.describe()
+
+
+def test_exactly_once_under_scripted_loss_and_duplication():
+    _check(WorkloadSpec(
+        seed=101, layer='eadi', n_nodes=2, n_ranks=2, placement=(0, 1),
+        ops=(OpSpec(kind='p2p', src=0, dst=1, nbytes=70000, tag=0),
+             OpSpec(kind='p2p', src=1, dst=0, nbytes=4097, tag=1),
+             OpSpec(kind='p2p_nb', src=0, dst=1, nbytes=4096, tag=2)),
+        fault_plan=FaultPlan(seed=11, drop_rate=0.1, duplicate_rate=0.08,
+                             drop_seqs=(0, 2))))
+
+
+def test_bidirectional_rendezvous_exchange():
+    _check(WorkloadSpec(
+        seed=102, layer='mpi', n_nodes=2, n_ranks=2, placement=(0, 1),
+        ops=(OpSpec(kind='p2p_nb', src=0, dst=1, nbytes=70000, tag=0),
+             OpSpec(kind='p2p_nb', src=1, dst=0, nbytes=70000, tag=1),
+             OpSpec(kind='allreduce', src=0, dst=0, nbytes=64, tag=2))))
+
+
+def test_bcl_system_vs_normal_channel_ordering():
+    _check(WorkloadSpec(
+        seed=103, layer='bcl', n_nodes=2, n_ranks=3, placement=(0, 1, 0),
+        ops=(OpSpec(kind='bcl_system', src=0, dst=1, nbytes=512, tag=0),
+             OpSpec(kind='bcl_send', src=1, dst=0, nbytes=20000, tag=1),
+             OpSpec(kind='bcl_system', src=2, dst=1, nbytes=100, tag=2),
+             OpSpec(kind='rma_write', src=0, dst=2, nbytes=3000, tag=3),
+             OpSpec(kind='rma_read', src=1, dst=2, nbytes=2000, tag=4))))

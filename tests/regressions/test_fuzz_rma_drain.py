@@ -1,0 +1,47 @@
+"""Fuzz regression: intra-node RMA writes lost when the target rank
+exits before draining its shared ring.
+
+Found by ``repro fuzz --seed 1 --runs 50`` (campaign workload seed
+3028207765, tie-break seed 2030678961).  The intra-node shm transport
+is receiver-driven: chunks queued behind a rank that stops polling are
+silently lost, so a one-sided write racing the target's last receive
+delivered all-zero bytes under the FIFO schedule and the real payload
+under a shuffled one::
+
+    [schedule] workload(seed=3028207765, bcl, 4 ranks / 1 nodes,
+    [bcl_systemx1, rma_writex3]) under tie-break seed 2030678961:
+    delivery differs from fifo baseline: rank 1:
+    baseline-only=[('rma_write', 0, 0, 8586, 4037803819)] ...
+
+The harness now holds every rank until each inbound write reported
+RMA_WRITE_DONE and checks delivered bytes against the sent payload, so
+a both-schedules-lose-the-write agreement can no longer pass silently.
+"""
+
+from repro.fuzz.generator import OpSpec, WorkloadSpec
+from repro.fuzz.oracles import verify_workload
+
+
+def test_found_case_rma_writes_behind_system_message():
+    """The campaign's reproducer, pinned verbatim."""
+    spec = WorkloadSpec(
+        seed=3028207765, layer='bcl', n_nodes=1, n_ranks=4,
+        placement=(0, 0, 0, 0),
+        ops=(OpSpec(kind='rma_write', src=0, dst=1, nbytes=8586, tag=0),
+             OpSpec(kind='rma_write', src=1, dst=2, nbytes=4768, tag=1),
+             OpSpec(kind='rma_write', src=0, dst=1, nbytes=14948, tag=2),
+             OpSpec(kind='bcl_system', src=3, dst=1, nbytes=227, tag=3)),
+        fault_plan=None)
+    failure = verify_workload(spec, schedule_seeds=(2030678961, 1, 2))
+    assert failure is None, failure.describe()
+
+
+def test_minimal_case_write_to_idle_rank():
+    """Hand-shrunk essence: one write to a rank with no ops of its own,
+    which used to return from its program before the chunks drained."""
+    spec = WorkloadSpec(
+        seed=7, layer='bcl', n_nodes=1, n_ranks=2, placement=(0, 0),
+        ops=(OpSpec(kind='rma_write', src=0, dst=1, nbytes=8586, tag=0),),
+        fault_plan=None)
+    failure = verify_workload(spec, schedule_seeds=(1,))
+    assert failure is None, failure.describe()

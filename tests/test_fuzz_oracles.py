@@ -1,0 +1,80 @@
+"""Differential oracles: green on a healthy tree, red on seeded bugs."""
+
+from __future__ import annotations
+
+from unittest import mock
+
+from repro.fuzz import generate_workload, run_campaign, verify_workload
+from repro.fuzz.generator import OpSpec, WorkloadSpec
+from repro.upper.eadi import EadiEndpoint
+
+
+def test_oracles_pass_on_healthy_tree():
+    for seed in range(4):
+        spec = generate_workload(seed, max_ops=6)
+        failure = verify_workload(spec, schedule_seeds=(1, 2))
+        assert failure is None, failure.describe()
+
+
+def test_crash_oracle_captures_broken_workloads():
+    # dst rank 5 does not exist: the program must crash, and the crash
+    # must surface as a finding rather than an exception.
+    spec = WorkloadSpec(seed=1, layer="mpi", n_nodes=1, n_ranks=2,
+                        placement=(0, 0),
+                        ops=(OpSpec(kind="p2p", src=0, dst=5,
+                                    nbytes=64, tag=0),))
+    failure = verify_workload(spec, schedule_seeds=(1,))
+    assert failure is not None
+    assert failure.oracle == "crash"
+    assert failure.exception is not None
+
+
+def test_audit_oracle_catches_credit_double_release():
+    """Reintroduce the PR 3 family of EADI credit bugs (credits handed
+    back twice) — the audited baseline run must crash with the
+    credit-overflow violation and the oracle must report it."""
+    spec = generate_workload(2582294422, max_ops=10)   # busy 4-rank mpi
+    assert spec.layer == "mpi"
+
+    orig = EadiEndpoint._release_credits
+
+    def buggy(self, src_rank, count):
+        orig(self, src_rank, count * 2)
+
+    with mock.patch.object(EadiEndpoint, "_release_credits", buggy):
+        failure = verify_workload(spec, schedule_seeds=(1,))
+    assert failure is not None
+    assert failure.oracle == "crash"
+    assert "credit-overflow" in (failure.detail + failure.exception)
+    # the same spec is clean without the bug
+    assert verify_workload(spec, schedule_seeds=(1,)) is None
+
+
+def test_campaign_is_seed_reproducible():
+    stub_calls = []
+
+    def stub_check(spec, schedule_seeds):
+        stub_calls.append((spec.seed, schedule_seeds))
+        return None
+
+    a = run_campaign(7, 5, n_schedules=3, check=stub_check)
+    first = list(stub_calls)
+    stub_calls.clear()
+    b = run_campaign(7, 5, n_schedules=3, check=stub_check)
+    assert first == stub_calls          # same workloads, same seeds
+    assert a.schedule_seeds == b.schedule_seeds
+    assert len(a.schedule_seeds) == 3
+    assert a.ok and b.ok and a.checked == 5
+
+
+def test_campaign_stops_after_failure_budget():
+    from repro.fuzz import OracleFailure
+
+    def always_fails(spec, schedule_seeds):
+        return OracleFailure("schedule", spec, schedule_seeds[0], "boom")
+
+    result = run_campaign(1, 50, n_schedules=2, check=always_fails,
+                          stop_after=3)
+    assert len(result.failures) == 3
+    assert result.checked == 3
+    assert not result.ok

@@ -1,0 +1,131 @@
+"""Delta-debugging shrinker: minimality on synthetic oracles (fast,
+no simulation) and an end-to-end shrink of a seeded real bug."""
+
+from __future__ import annotations
+
+from unittest import mock
+
+from repro.faults import FaultPlan
+from repro.fuzz import (
+    OracleFailure,
+    emit_regression_test,
+    generate_workload,
+    shrink_failure,
+    verify_workload,
+)
+from repro.fuzz.generator import OpSpec, WorkloadSpec
+from repro.upper.eadi import EadiEndpoint
+
+
+def _spec(ops, fault_plan=None, n_ranks=4):
+    return WorkloadSpec(seed=1, layer="mpi", n_nodes=2, n_ranks=n_ranks,
+                        placement=tuple(r % 2 for r in range(n_ranks)),
+                        ops=tuple(ops), fault_plan=fault_plan)
+
+
+def _op(index, src=0, dst=1, nbytes=100, kind="p2p"):
+    return OpSpec(kind=kind, src=src, dst=dst, nbytes=nbytes, tag=index)
+
+
+def test_ddmin_keeps_only_the_culprit_pair():
+    """Synthetic oracle: failure iff the op list contains both marked
+    ops (nbytes 666 and 777).  ddmin must strip the other ten."""
+
+    def check(spec, schedule_seeds):
+        sizes = {op.nbytes for op in spec.ops}
+        if {666, 777} <= sizes:
+            return OracleFailure("schedule", spec, schedule_seeds[0],
+                                 "culprit pair present")
+        return None
+
+    ops = [_op(i, nbytes=10 + i) for i in range(10)]
+    ops.insert(3, _op(99, nbytes=666))
+    ops.insert(8, _op(98, nbytes=777))
+    spec = _spec(ops)
+    failure = check(spec, (1,))
+    result = shrink_failure(spec, failure, (1, 2, 3), check=check)
+    assert len(result.spec.ops) == 2
+    assert {op.nbytes for op in result.spec.ops} == {666, 777}
+    # tags stay equal to op indices (the generator invariant)
+    assert [op.tag for op in result.spec.ops] == [0, 1]
+    # shrinking narrowed verification to the single failing seed
+    assert result.schedule_seeds == (1,)
+
+
+def test_shrinker_drops_irrelevant_fault_plan_and_ranks():
+    def check(spec, schedule_seeds):
+        if any(op.nbytes >= 50 for op in spec.ops):
+            return OracleFailure("fault", spec, None, "big op present")
+        return None
+
+    spec = _spec([_op(0, nbytes=80_000),
+                  _op(1, src=2, dst=3, nbytes=10)],
+                 fault_plan=FaultPlan(seed=3, drop_rate=0.1,
+                                      duplicate_rate=0.05))
+    result = shrink_failure(spec, check(spec, (1,)), (1,), check=check)
+    assert result.spec.fault_plan is None
+    assert result.spec.n_ranks == 2          # ranks 2/3 compacted away
+    assert result.spec.n_nodes == 1          # folded intra-node
+    assert len(result.spec.ops) == 1
+    # the size ladder shrank the op to the smallest still-failing size
+    assert result.spec.ops[0].nbytes == 64
+
+
+def test_shrink_respects_eval_budget():
+    calls = []
+
+    def check(spec, schedule_seeds):
+        calls.append(1)
+        return OracleFailure("schedule", spec, None, "always")
+
+    spec = _spec([_op(i) for i in range(12)])
+    result = shrink_failure(spec, check(spec, (1,)), (1,),
+                            max_evals=10, check=check)
+    assert result.evals <= 10
+    assert len(calls) <= 11                   # budget + initial check
+
+
+def test_emitted_regression_test_is_runnable():
+    spec = _spec([_op(0, nbytes=666)])
+    failure = OracleFailure("schedule", spec, 1, "demo\nmultiline")
+    result = shrink_failure(spec, failure, (1,),
+                            check=lambda s, schedule_seeds:
+                            OracleFailure("schedule", s, 1, "demo"))
+    source = emit_regression_test(result, "demo case 1")
+    namespace: dict = {}
+    exec(compile(source, "<emitted>", "exec"), namespace)  # noqa: S102
+    assert "test_demo_case_1" in namespace
+    # the embedded spec reconstructs exactly
+    assert "WorkloadSpec(seed=1" in source
+
+
+def test_end_to_end_shrink_of_seeded_credit_bug():
+    """The acceptance scenario: reintroduce a known past bug (EADI
+    credits released twice), let the oracle catch it, shrink it, and
+    check the emitted regression test is red under the bug and green
+    on the healthy tree."""
+    spec = generate_workload(2582294422, max_ops=10)
+    orig = EadiEndpoint._release_credits
+
+    def buggy(self, src_rank, count):
+        orig(self, src_rank, count * 2)
+
+    with mock.patch.object(EadiEndpoint, "_release_credits", buggy):
+        failure = verify_workload(spec, schedule_seeds=(1,))
+        assert failure is not None
+        result = shrink_failure(spec, failure, (1,), max_evals=40)
+        assert len(result.spec.ops) < len(spec.ops)
+        # the shrunk spec still reproduces under the bug...
+        shrunk_failure = verify_workload(result.spec,
+                                         schedule_seeds=(1,))
+        assert shrunk_failure is not None
+
+        source = emit_regression_test(result, "credit_release")
+        namespace: dict = {}
+        exec(compile(source, "<emitted>", "exec"), namespace)
+        import pytest
+        with pytest.raises(AssertionError):
+            namespace["test_credit_release"]()    # red under the bug
+
+    # ...and the emitted test is green once the bug is gone
+    namespace["test_credit_release"]()
