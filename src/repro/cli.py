@@ -17,6 +17,10 @@ Commands:
   workloads run under shuffled tie-break seeds and checked by
   differential delivery oracles (``--shrink`` minimizes failures to
   ready-to-commit regression tests)
+* ``observe``    — run a telemetry-enabled ping-pong and print the
+  message-lifecycle view: latency percentiles, the per-stage
+  critical-path breakdown (Figure 7 per message), the top-K slowest
+  messages, per-message drill-downs and a metrics dump
 """
 
 from __future__ import annotations
@@ -70,6 +74,10 @@ def build_parser() -> argparse.ArgumentParser:
     tr = sub.add_parser("trace", help="dump a chrome://tracing JSON")
     tr.add_argument("--output", default="bcl_trace.json")
     tr.add_argument("--bytes", type=int, default=4096)
+    tr.add_argument("--message-id", type=int, default=None, metavar="N",
+                    help="export only the records tagged with message N "
+                         "(negative N indexes this run's messages from "
+                         "the end, -1 = last)")
 
     rp = sub.add_parser("report", help="cluster utilisation report")
     rp.add_argument("--bytes", type=int, default=65536)
@@ -124,6 +132,31 @@ def build_parser() -> argparse.ArgumentParser:
                          "(default: print to stdout)")
     fz.add_argument("--quiet", action="store_true",
                     help="suppress the per-workload progress line")
+
+    ob = sub.add_parser("observe",
+                        help="telemetry-enabled ping-pong: latency "
+                             "percentiles, per-stage critical paths, "
+                             "slowest messages, metrics dump")
+    ob.add_argument("--bytes", type=int, default=0,
+                    help="payload size (default 0, the Figure 7 case)")
+    ob.add_argument("--messages", type=int, default=4)
+    ob.add_argument("--intra-node", action="store_true")
+    ob.add_argument("--drop", type=float, default=0.0, metavar="RATE",
+                    help="per-packet drop probability, to observe "
+                         "go-back-N recovery anomalies (default 0)")
+    ob.add_argument("--seed", type=int, default=1,
+                    help="fault-plan seed when --drop is set")
+    ob.add_argument("--top", type=int, default=0, metavar="K",
+                    help="also list the K slowest messages")
+    ob.add_argument("--message-id", type=int, default=None, metavar="N",
+                    help="drill into message N: per-stage breakdown "
+                         "plus the causal span tree (negative N indexes "
+                         "this run's messages from the end, -1 = last)")
+    ob.add_argument("--metrics", choices=["prom", "json"], default=None,
+                    help="also dump the metrics registry")
+    ob.add_argument("--spans-out", metavar="FILE", default=None,
+                    help="write the span trees as flow-linked "
+                         "chrome://tracing JSON")
     return parser
 
 
@@ -198,8 +231,16 @@ def _cmd_trace(args) -> int:
     from repro.instrument.measure import measure_one_way
     cluster = Cluster(n_nodes=2, trace=True)
     measure_one_way(cluster, args.bytes, repeats=1, warmup=1)
-    count = write_chrome_trace(cluster.tracer, args.output)
-    print(f"wrote {count} trace events to {args.output} "
+    message_id = args.message_id
+    if message_id is not None and message_id < 0:
+        mids = sorted({r.message_id for r in cluster.tracer.records
+                       if r.message_id is not None})
+        if -message_id <= len(mids):
+            message_id = mids[message_id]
+    count = write_chrome_trace(cluster.tracer, args.output,
+                               message_id=message_id)
+    scope = "" if message_id is None else f" for message {message_id}"
+    print(f"wrote {count} trace events{scope} to {args.output} "
           "(open in chrome://tracing or Perfetto)")
     return 0
 
@@ -422,6 +463,52 @@ def _cmd_fuzz(args) -> int:
     return 1
 
 
+def _cmd_observe(args) -> int:
+    import json
+
+    from repro.telemetry.observe import (
+        render_drilldown,
+        render_summary,
+        render_top,
+        run_ping_pong,
+    )
+
+    cluster, _sample = run_ping_pong(nbytes=args.bytes,
+                                     messages=args.messages,
+                                     intra_node=args.intra_node,
+                                     drop=args.drop, seed=args.seed)
+    session = cluster.telemetry
+    print(render_summary(session, args.bytes))
+    if args.top:
+        print()
+        print(render_top(session, args.top))
+    if args.message_id is not None:
+        mids = session.message_ids()
+        mid = args.message_id
+        if mid < 0:                     # index this run's messages
+            if -mid <= len(mids):
+                mid = mids[mid]
+        if mid not in mids:
+            print(f"repro observe: error: no traced message "
+                  f"{args.message_id} (have {mids})", file=sys.stderr)
+            return 2
+        print()
+        print(render_drilldown(session, mid))
+    if args.spans_out is not None:
+        events = session.chrome_events()
+        with open(args.spans_out, "w", encoding="utf-8") as fh:
+            json.dump({"traceEvents": events, "displayTimeUnit": "ns"}, fh)
+        print(f"\nwrote {len(events)} span events to {args.spans_out} "
+              "(flow arrows link the lifecycle hops)")
+    if args.metrics == "prom":
+        print()
+        print(session.registry.render_prometheus(), end="")
+    elif args.metrics == "json":
+        print()
+        print(session.registry.to_json())
+    return 0
+
+
 _COMMANDS = {
     "evaluate": _cmd_evaluate,
     "latency": _cmd_latency,
@@ -432,6 +519,7 @@ _COMMANDS = {
     "faults": _cmd_faults,
     "audit": _cmd_audit,
     "fuzz": _cmd_fuzz,
+    "observe": _cmd_observe,
 }
 
 

@@ -51,7 +51,8 @@ class Cluster:
                                                    Optional[Packet]]] = None,
                  fault_plan: Optional[FaultPlan] = None,
                  env: Optional[Environment] = None,
-                 audit: Optional[bool] = None):
+                 audit: Optional[bool] = None,
+                 telemetry: Optional[bool] = None):
         if architecture not in ARCHITECTURES:
             raise ValueError(
                 f"unknown architecture {architecture!r}; "
@@ -100,6 +101,18 @@ class Cluster:
             node.kernel = kernel
         if self.auditor is not None:
             self.auditor.bind_cluster(self)
+        # Message-lifecycle telemetry (repro.telemetry): spans, metrics
+        # and critical-path attribution.  A pure observer like the
+        # auditor — ``telemetry=None`` defers to the global switch
+        # (repro.telemetry.enable() / REPRO_TELEMETRY=1).  Attached
+        # last so every layer's counters already exist to register.
+        self.telemetry = None
+        if telemetry is None:
+            from repro import telemetry as _telemetry_mod
+            telemetry = _telemetry_mod.enabled()
+        if telemetry:
+            from repro.telemetry import TelemetrySession
+            self.telemetry = TelemetrySession(self)
 
     # ------------------------------------------------------------- access
     def node(self, node_id: int) -> Node:

@@ -125,6 +125,22 @@ class Mcp:
         yield self.env.timeout(us(cost_us))
         self._trace(start, "mcp", stage, message_id)
 
+    def register_metrics(self, registry) -> None:
+        """Expose this NIC's firmware tallies to a telemetry registry:
+        message counts plus the go-back-N recovery counters (absorbed
+        via :meth:`ReliabilityCounters.register_mcp`)."""
+        from repro.instrument.counters import ReliabilityCounters
+        nic = str(self.nic.node_id)
+        for name, attr in (("repro_mcp_messages_sent_total",
+                            "messages_sent"),
+                           ("repro_mcp_messages_delivered_total",
+                            "messages_delivered"),
+                           ("repro_mcp_unroutable_total", "unroutable")):
+            registry.register_callback(
+                name, lambda a=attr: getattr(self, a),
+                kind="counter", nic=nic)
+        ReliabilityCounters.register_mcp(registry, self, nic=nic)
+
     def sender_flow(self, dst_nic: int) -> GoBackNSender:
         if dst_nic not in self._senders:
             sender = GoBackNSender(

@@ -94,6 +94,20 @@ class Link:
             raise ValueError(f"{src.label} is not an endpoint of {self.name}")
         return self._inboxes[src].put(packet)
 
+    def register_metrics(self, registry) -> None:
+        """Expose this link's occupancy and carry/drop tallies."""
+        registry.register_callback(
+            "repro_link_busy_ns",
+            lambda: self.busy_ns[self.a] + self.busy_ns[self.b],
+            "serialization-window occupancy, both directions",
+            kind="counter", link=self.name)
+        registry.register_callback(
+            "repro_link_packets_total", lambda: self.packets_carried,
+            kind="counter", link=self.name, outcome="carried")
+        registry.register_callback(
+            "repro_link_packets_total", lambda: self.packets_dropped,
+            kind="counter", link=self.name, outcome="dropped")
+
     def _pump(self, src: LinkEndpoint) -> Generator:
         """Drain one direction: deliver after propagation, hold for
         the serialization window."""

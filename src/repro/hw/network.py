@@ -51,6 +51,20 @@ class Network:
         self._routes: dict[tuple[int, int], tuple[int, ...]] = {}
         self.graph = nx.Graph()
 
+    def register_metrics(self, registry) -> None:
+        """Register every link's and switch's tallies (observation only)."""
+        for link in self.links:
+            link.register_metrics(registry)
+        for switch in self.switches:
+            registry.register_callback(
+                "repro_switch_packets_forwarded_total",
+                lambda sw=switch: sw.packets_forwarded,
+                kind="counter", switch=switch.name)
+            registry.register_callback(
+                "repro_switch_route_errors_total",
+                lambda sw=switch: sw.route_errors,
+                kind="counter", switch=switch.name)
+
     def route(self, src: int, dst: int) -> tuple[int, ...]:
         """Source route (switch output ports) from node src to node dst."""
         if src == dst:

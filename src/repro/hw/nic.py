@@ -189,3 +189,24 @@ class Nic:
     @property
     def ring_occupancy(self) -> int:
         return len(self.send_ring)
+
+    def register_metrics(self, registry) -> None:
+        """Expose this card's table state to a telemetry registry."""
+        nic = str(self.node_id)
+        registry.register_callback(
+            "repro_nic_open_ports", lambda: len(self.ports),
+            "BCL ports currently open on the card", kind="gauge", nic=nic)
+        registry.register_callback(
+            "repro_nic_send_ring_occupancy", lambda: self.ring_occupancy,
+            "send requests queued in the card's SRQ ring",
+            kind="gauge", nic=nic)
+        registry.register_callback(
+            "repro_nic_unready_drops_total",
+            lambda: sum(p.unready_drops for p in self.ports.values()),
+            "arrivals dropped because no receive channel was ready",
+            kind="counter", nic=nic)
+        registry.register_callback(
+            "repro_nic_system_pool_drops_total",
+            lambda: sum(p.system_dropped for p in self.ports.values()),
+            "system-channel arrivals dropped for lack of a pool buffer",
+            kind="counter", nic=nic)

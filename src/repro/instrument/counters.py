@@ -55,6 +55,34 @@ class PathCounters:
     def record_dma(self) -> None:
         self.dma_transfers += 1
 
+    def register_into(self, registry, **labels) -> None:
+        """Expose these counters as callback-backed registry instruments.
+
+        The fields stay the source of truth (nothing about this class
+        changes); the :class:`~repro.telemetry.metrics.MetricsRegistry`
+        samples them at collection time.
+        """
+        series = {
+            "repro_traps_total": lambda: self.traps,
+            "repro_traps_send_path_total": lambda: self.traps_send_path,
+            "repro_traps_recv_path_total": lambda: self.traps_recv_path,
+            "repro_interrupts_total": lambda: self.interrupts,
+            "repro_data_copies_total": lambda: self.data_copies,
+            "repro_dma_transfers_total": lambda: self.dma_transfers,
+            "repro_pio_words_total": lambda: self.pio_words,
+        }
+        for name, fn in series.items():
+            registry.register_callback(name, fn, kind="counter", **labels)
+        registry.register_callback(
+            "repro_nic_accesses_total",
+            lambda: self.nic_accesses_from_user,
+            "NIC register/queue accesses on the critical path",
+            kind="counter", space="user", **labels)
+        registry.register_callback(
+            "repro_nic_accesses_total",
+            lambda: self.nic_accesses_from_kernel,
+            kind="counter", space="kernel", **labels)
+
     @property
     def nic_access_location(self) -> str:
         """Where the NIC was touched on the observed path."""
@@ -136,6 +164,38 @@ class ReliabilityCounters:
             counters.out_of_order_drops += receiver.out_of_order_drops
             counters.corrupt_drops += receiver.corrupt_drops
         return counters
+
+    @classmethod
+    def register_mcp(cls, registry, mcp, **labels) -> None:
+        """Register one NIC's recovery tallies as live instruments.
+
+        Each callback snapshots the MCP's flows through
+        :meth:`from_mcp`, so the series track the go-back-N state as it
+        evolves rather than a frozen copy.
+        """
+        fields = {
+            "repro_wire_data_packets_total": "data_packets",
+            "repro_retransmissions_total": "retransmissions",
+            "repro_fast_retransmits_total": "fast_retransmits",
+            "repro_retransmit_timeouts_total": "retransmit_timeouts",
+        }
+        for name, attr in fields.items():
+            registry.register_callback(
+                name, lambda a=attr: getattr(cls.from_mcp(mcp), a),
+                kind="counter", **labels)
+        for reason, attr in (("duplicate", "duplicate_drops"),
+                             ("out_of_order", "out_of_order_drops"),
+                             ("corrupt", "corrupt_drops")):
+            registry.register_callback(
+                "repro_recv_drops_total",
+                lambda a=attr: getattr(cls.from_mcp(mcp), a),
+                "receive-discipline discards by reason",
+                kind="counter", reason=reason, **labels)
+        registry.register_callback(
+            "repro_retx_amplification",
+            lambda: cls.from_mcp(mcp).retx_amplification,
+            "wire DATA packets per unique DATA packet (1.0 = loss-free)",
+            kind="gauge", **labels)
 
     @property
     def retx_amplification(self) -> float:

@@ -43,6 +43,24 @@ class Kernel:
         if node.nic is not None:
             node.nic.interrupt_controller = self.interrupts
 
+    def register_metrics(self, registry) -> None:
+        """Expose this kernel's Table-1 path counters and pin-down
+        table state to a telemetry registry (observation only)."""
+        node = str(self.node.node_id)
+        self.counters.register_into(registry, node=node)
+        registry.register_callback(
+            "repro_pindown_entries",
+            lambda: len(self.pindown),
+            "pages currently held by the pin-down cache",
+            kind="gauge", node=node)
+        for name, attr in (("repro_pindown_hits_total", "hits"),
+                           ("repro_pindown_misses_total", "misses"),
+                           ("repro_pindown_evictions_total", "evictions")):
+            registry.register_callback(
+                name, lambda a=attr: getattr(self.pindown, a),
+                "pin-down cache traffic (evictions indicate thrashing)",
+                kind="counter", node=node)
+
     def syscall(self, proc: "UserProcess", name: str, handler: Generator,
                 path: str = "other",
                 message_id: Optional[int] = None) -> Generator:

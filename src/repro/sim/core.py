@@ -381,7 +381,7 @@ class Environment:
     """
 
     __slots__ = ("_now", "_heap", "_seq", "_active_process", "_timeout_pool",
-                 "_audit", "_tie_break")
+                 "_audit", "_tie_break", "_telemetry")
 
     def __init__(self, initial_time: int = 0, tie_break=None):
         self._now: int = initial_time
@@ -393,6 +393,9 @@ class Environment:
         # with getattr(env, "_audit", None) so the off-path cost is one
         # attribute read.
         self._audit = None
+        # Optional repro.telemetry.TelemetrySession, looked up the same
+        # way by runtime-created endpoints that register instruments.
+        self._telemetry = None
         if tie_break is not None and not callable(
                 getattr(tie_break, "key", None)):
             raise SimulationError(

@@ -45,6 +45,10 @@ class Tracer:
         self.enabled = enabled
         self.records: list[TraceRecord] = []
         self._listeners: list[Callable[[TraceRecord], None]] = []
+        #: (listener, exception) pairs for listeners detached after
+        #: raising — observers must not abort the simulation
+        self.listener_errors: list[tuple[Callable[[TraceRecord], None],
+                                         BaseException]] = []
 
     def clear(self) -> None:
         """Reset for a fresh trial: drop records AND detach listeners.
@@ -78,8 +82,23 @@ class Tracer:
         rec = TraceRecord(start_ns, end_ns, category, stage, component,
                           message_id, data)
         self.records.append(rec)
+        failed = None
         for listener in self._listeners:
-            listener(rec)
+            try:
+                listener(rec)
+            except Exception as exc:
+                # Listeners are observers (exporters, span builders,
+                # recovery trackers); one raising must not abort the
+                # simulation mid-event.  Record the failure once and
+                # detach the offender so it cannot fail on every
+                # subsequent record.
+                if failed is None:
+                    failed = []
+                failed.append((listener, exc))
+        if failed:
+            for listener, exc in failed:
+                self.listener_errors.append((listener, exc))
+                self.remove_listener(listener)
 
     # -- queries --------------------------------------------------------
     def for_message(self, message_id: int) -> list[TraceRecord]:

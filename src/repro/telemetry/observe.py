@@ -1,0 +1,133 @@
+"""The ``repro observe`` workload runner and report renderer.
+
+Runs a telemetry-enabled ping-pong on a fresh cluster and renders the
+operator's view of it: a latency summary (exact p50/p95/p99 from the
+metrics registry), the aggregate per-stage critical-path breakdown
+(the per-message Figure 7), the top-K slowest messages with their
+bounding stage and anomaly flags, and per-message drill-downs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim.time import ns_to_us
+from repro.telemetry.critical_path import FIGURE7_STAGES, CriticalPathReport
+from repro.telemetry.session import TelemetrySession
+
+__all__ = ["run_ping_pong", "render_summary", "render_top",
+           "render_drilldown"]
+
+
+def run_ping_pong(nbytes: int = 0, messages: int = 4,
+                  intra_node: bool = False, drop: float = 0.0,
+                  seed: int = 1):
+    """A telemetry-enabled 2-node (or intra-node) ping-pong.
+
+    Returns ``(cluster, sample)``; the telemetry session is
+    ``cluster.telemetry``.
+    """
+    from repro.cluster import Cluster
+    from repro.instrument.measure import measure_intra_node, measure_one_way
+
+    kwargs = {}
+    if drop > 0.0:
+        from repro.config import LOSSY_DAWNING
+        from repro.faults import FaultPlan
+        kwargs = {"cfg": LOSSY_DAWNING,
+                  "fault_plan": FaultPlan(seed=seed, drop_rate=drop)}
+    if intra_node:
+        cluster = Cluster(n_nodes=1, telemetry=True, **kwargs)
+        sample = measure_intra_node(cluster, nbytes, repeats=messages,
+                                    warmup=1)
+    else:
+        cluster = Cluster(n_nodes=2, telemetry=True, **kwargs)
+        sample = measure_one_way(cluster, nbytes, repeats=messages,
+                                 warmup=1)
+    return cluster, sample
+
+
+def _ordered_stages(reports: list[CriticalPathReport]) -> list[str]:
+    """Figure-7 canonical order first, then extras by appearance."""
+    seen: list[str] = []
+    for report in reports:
+        for share in report.stages:
+            if share.stage not in seen:
+                seen.append(share.stage)
+    ordered = [s for s in FIGURE7_STAGES if s in seen]
+    ordered += [s for s in seen if s not in ordered]
+    return ordered
+
+
+def render_summary(session: TelemetrySession, nbytes: int) -> str:
+    """Latency distribution + aggregate critical-path breakdown."""
+    hist = session.latency_histogram
+    reports = session.reports()
+    lines = [f"observe: {hist.count} message lifecycles, {nbytes} B payload"]
+    if hist.count:
+        lines.append(
+            f"  one-way latency  p50 {ns_to_us(hist.p50):8.3f} us   "
+            f"p95 {ns_to_us(hist.p95):8.3f} us   "
+            f"p99 {ns_to_us(hist.p99):8.3f} us")
+    if not reports:
+        lines.append("  (no traced messages)")
+        return "\n".join(lines)
+    lines.append("")
+    lines.append("critical path (aggregate across messages):")
+    lines.append(f"  {'stage':<14s} {'mean us':>9s} {'total us':>9s} "
+                 f"{'share':>6s}")
+    total_all = sum(r.total_ns for r in reports)
+    bounding_votes: dict[str, int] = {}
+    for report in reports:
+        stage = report.bounding_stage
+        if stage is not None:
+            bounding_votes[stage] = bounding_votes.get(stage, 0) + 1
+    for stage in _ordered_stages(reports):
+        ns_values = [r.stage_ns(stage) for r in reports]
+        total_ns = sum(ns_values)
+        mean_us = ns_to_us(total_ns) / len(reports)
+        share = total_ns / total_all if total_all else 0.0
+        lines.append(f"  {stage:<14s} {mean_us:9.3f} "
+                     f"{ns_to_us(total_ns):9.3f} {100 * share:5.1f}%")
+    if bounding_votes:
+        top = max(sorted(bounding_votes), key=lambda s: bounding_votes[s])
+        lines.append(f"  bounding stage: {top} "
+                     f"(bounded {bounding_votes[top]}/{len(reports)} "
+                     "messages)")
+    anomalies = [(r.message_id, a) for r in reports for a in r.anomalies]
+    if anomalies:
+        lines.append("anomalies:")
+        for mid, anomaly in anomalies:
+            lines.append(f"  message {mid}: {anomaly}")
+    return "\n".join(lines)
+
+
+def render_top(session: TelemetrySession, k: int) -> str:
+    """The K slowest messages, slowest first."""
+    lines = [f"top {k} slowest messages:",
+             f"  {'id':>6s} {'total us':>9s}  {'bounding stage':<14s} "
+             "anomalies"]
+    for report in session.top_slowest(k):
+        flags = "; ".join(report.anomalies) or "-"
+        lines.append(f"  {report.message_id:>6d} {report.total_us:9.3f}  "
+                     f"{report.bounding_stage or '-':<14s} {flags}")
+    return "\n".join(lines)
+
+
+def render_drilldown(session: TelemetrySession, message_id: int) -> str:
+    """Per-stage breakdown + span tree of one message."""
+    report = session.critical_path(message_id)
+    lines = [report.format()]
+    lines.append("span tree:")
+    root = session.span_tree(message_id)
+    origin = root.start_ns
+    for span in root.walk():
+        depth = span.span_id.count(".")
+        label = span.component or span.name
+        if span.parent_id is not None and span.component:
+            label = span.name if depth >= 2 else span.component
+        lines.append(
+            f"  {'  ' * depth}[{ns_to_us(span.start_ns - origin):8.3f} -> "
+            f"{ns_to_us(span.end_ns - origin):8.3f} us] {label}"
+            + (f"  ({span.layer})" if span.layer else ""))
+    return "\n".join(lines)

@@ -1,0 +1,146 @@
+"""Per-cluster telemetry session: spans + metrics + critical paths.
+
+A :class:`TelemetrySession` attaches to one
+:class:`~repro.cluster.Cluster` and wires the whole observability
+layer together:
+
+* forces the cluster's tracer on and feeds every record to a
+  :class:`~repro.telemetry.spans.SpanBuilder` (causal span trees) and
+  to live stage/wire instruments in a
+  :class:`~repro.telemetry.metrics.MetricsRegistry`;
+* asks each layer to register its instruments — kernel path counters,
+  MCP reliability counters, NIC tables, link occupancy — and exposes
+  itself on the environment (``env._telemetry``) so runtime-created
+  upper-layer endpoints (EADI) self-register the same way auditor
+  checkers do;
+* serves the analysis queries behind ``repro observe``:
+  per-message critical paths, the top-K slowest messages, and the
+  one-way latency distribution.
+
+The session is a pure observer: it schedules no simulation events and
+consumes no randomness, so a telemetry-enabled run is byte-identical
+to a disabled one (pinned by ``tests/regressions/test_telemetry_parity``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim.trace import TraceRecord
+from repro.telemetry.critical_path import (
+    CriticalPathReport,
+    attribute_records,
+    canonical_stage,
+)
+from repro.telemetry.metrics import Histogram, MetricsRegistry
+from repro.telemetry.spans import Span, SpanBuilder, spans_to_chrome
+
+__all__ = ["TelemetrySession"]
+
+
+class TelemetrySession:
+    """Observability for one cluster: spans, metrics, critical paths."""
+
+    def __init__(self, cluster):
+        self.cluster = cluster
+        self.registry = MetricsRegistry()
+        self.spans = SpanBuilder()
+        self._latency_hist: Histogram = self.registry.histogram(
+            "repro_message_latency_ns",
+            "end-to-end message lifecycle span in simulated ns")
+        self._wire_hist: Histogram = self.registry.histogram(
+            "repro_wire_payload_bytes",
+            "payload bytes per injected wire packet")
+        self._observed: set[int] = set()
+        self._eadi_seq = 0
+
+        cluster.tracer.enabled = True
+        cluster.tracer.add_listener(self._on_record)
+        # Runtime-created endpoints (EADI) find the session here, the
+        # same way protocol objects find the auditor via env._audit.
+        cluster.env._telemetry = self
+
+        for node in cluster.nodes:
+            if node.kernel is not None:
+                node.kernel.register_metrics(self.registry)
+            if node.nic is not None:
+                node.nic.register_metrics(self.registry)
+        for mcp in cluster.mcps:
+            mcp.register_metrics(self.registry)
+        cluster.network.register_metrics(self.registry)
+
+    # ------------------------------------------------------------ intake
+    def _on_record(self, record: TraceRecord) -> None:
+        self.spans.on_record(record)
+        if record.duration_ns > 0:
+            self.registry.counter(
+                "repro_stage_ns_total",
+                "wall nanoseconds attributed to each canonical stage",
+                stage=canonical_stage(record)).inc(record.duration_ns)
+        if record.category == "wire":
+            self._wire_hist.observe(record.data.get("nbytes", 0))
+
+    def register_eadi(self, endpoint) -> None:
+        """Upper-layer registration hook, called by EadiEndpoint.
+
+        The ``ep`` label keeps endpoints of successive jobs (which can
+        reuse ranks) as distinct series.
+        """
+        self._eadi_seq += 1
+        labels = {"rank": endpoint.rank, "ep": self._eadi_seq}
+        self.registry.register_callback(
+            "repro_eadi_credit_stalls_total",
+            lambda ep=endpoint: ep.credit_stalls,
+            "sends that blocked waiting for an eager credit",
+            kind="counter", **labels)
+        self.registry.register_callback(
+            "repro_eadi_unexpected_total",
+            lambda ep=endpoint: ep.unexpected_count,
+            "eager arrivals queued before a matching receive was posted",
+            kind="counter", **labels)
+
+    # ----------------------------------------------------------- queries
+    def _refresh(self) -> None:
+        """Fold newly completed messages into the latency histogram."""
+        for mid in self.spans.message_ids():
+            if mid in self._observed:
+                continue
+            start_ns, end_ns = self.spans.extent(mid)
+            self._latency_hist.observe(end_ns - start_ns)
+            self._observed.add(mid)
+
+    @property
+    def latency_histogram(self) -> Histogram:
+        self._refresh()
+        return self._latency_hist
+
+    def message_ids(self) -> list[int]:
+        return self.spans.message_ids()
+
+    def critical_path(self, message_id: int) -> CriticalPathReport:
+        return attribute_records(message_id,
+                                 self.spans.records_for(message_id))
+
+    def reports(self) -> list[CriticalPathReport]:
+        return [self.critical_path(mid) for mid in self.message_ids()]
+
+    def top_slowest(self, k: int) -> list[CriticalPathReport]:
+        """The K slowest messages by end-to-end span, slowest first."""
+        reports = self.reports()
+        reports.sort(key=lambda r: (-r.total_ns, r.message_id))
+        return reports[:k]
+
+    def span_tree(self, message_id: int) -> Span:
+        return self.spans.build(message_id)
+
+    def span_trees(self) -> list[Span]:
+        return self.spans.build_all()
+
+    def chrome_events(self) -> list[dict]:
+        return spans_to_chrome(self.span_trees())
+
+    def detach(self) -> None:
+        """Stop observing (listener off, env hook cleared)."""
+        self.cluster.tracer.remove_listener(self._on_record)
+        if getattr(self.cluster.env, "_telemetry", None) is self:
+            self.cluster.env._telemetry = None

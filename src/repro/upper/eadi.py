@@ -211,6 +211,9 @@ class EadiEndpoint:
         self._audit = getattr(self.env, "_audit", None)
         if self._audit is not None:
             self._audit.register_eadi(self)
+        telemetry = getattr(self.env, "_telemetry", None)
+        if telemetry is not None:
+            telemetry.register_eadi(self)
 
     # ------------------------------------------------------------- helpers
     def _charge(self, cost_us: float, stage: str) -> Generator:

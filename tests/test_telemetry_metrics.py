@@ -1,0 +1,164 @@
+"""Metrics registry: instruments, exact quantiles, exposition formats."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+# -------------------------------------------------------------- instruments
+def test_counter_increments_and_rejects_decrease():
+    registry = MetricsRegistry()
+    c = registry.counter("repro_things_total", "things", node=0)
+    c.inc()
+    c.inc(4)
+    assert c.value() == 5
+    with pytest.raises(ValueError):
+        c.inc(-1)
+
+
+def test_gauge_set():
+    g = MetricsRegistry().gauge("repro_depth", "queue depth")
+    g.set(7)
+    assert g.value() == 7.0
+    g.set(3)
+    assert g.value() == 3.0
+
+
+def test_callback_backed_series_read_live():
+    registry = MetricsRegistry()
+    source = {"count": 0}
+    c = registry.register_callback("repro_live_total",
+                                   lambda: source["count"], kind="counter")
+    g = registry.register_callback("repro_live_depth",
+                                   lambda: source["count"] * 2, kind="gauge")
+    assert (c.value(), g.value()) == (0, 0)
+    source["count"] = 9
+    assert (c.value(), g.value()) == (9, 18)
+    # callback-backed instruments reject direct mutation
+    with pytest.raises(ValueError):
+        c.inc()
+    with pytest.raises(ValueError):
+        g.set(1)
+    with pytest.raises(ValueError):
+        registry.register_callback("repro_h", lambda: 0, kind="histogram")
+
+
+def test_histogram_exact_quantiles():
+    h = MetricsRegistry().histogram("repro_lat_ns", "latency")
+    for v in [10, 20, 30, 40, 50, 60, 70, 80, 90, 100]:
+        h.observe(v)
+    # nearest-rank over the sorted sample, not interpolation
+    assert h.p50 == 50
+    assert h.p95 == 100
+    assert h.p99 == 100
+    assert h.quantile(0.0) == 10
+    assert h.quantile(1.0) == 100
+    assert h.count == 10 and h.sum == 550
+    with pytest.raises(ValueError):
+        h.quantile(1.5)
+
+
+def test_histogram_empty_and_single():
+    h = Histogram("h", "", ())
+    assert h.p50 == 0.0 and h.count == 0
+    h.observe(42)
+    assert h.p50 == h.p99 == 42
+
+
+def test_histogram_log2_buckets_cumulative():
+    h = Histogram("h", "", ())
+    for v in [1, 2, 3, 900]:
+        h.observe(v)
+    buckets = h.buckets()
+    assert buckets[-1] == (float("inf"), 4)
+    uppers = [u for u, _ in buckets[:-1]]
+    assert uppers[0] == 1.0
+    assert all(b == 2 * a for a, b in zip(uppers, uppers[1:]))
+    assert uppers[-1] >= 900                 # covers the max observation
+    counts = [c for _, c in buckets]
+    assert counts == sorted(counts)          # cumulative
+    assert dict(buckets)[1.0] == 1
+    assert dict(buckets)[2.0] == 2
+
+
+# ----------------------------------------------------------------- registry
+def test_registry_get_or_create_is_idempotent():
+    registry = MetricsRegistry()
+    a = registry.counter("repro_x_total", "x", node=1)
+    b = registry.counter("repro_x_total", node=1)
+    assert a is b
+    # distinct labels are distinct series under one name
+    c = registry.counter("repro_x_total", node=2)
+    assert c is not a
+    assert len(registry) == 2
+    assert registry.get("repro_x_total", node=1) is a
+    assert registry.get("repro_x_total", node=3) is None
+
+
+def test_registry_rejects_kind_conflicts_and_bad_names():
+    registry = MetricsRegistry()
+    registry.counter("repro_x_total")
+    with pytest.raises(ValueError):
+        registry.gauge("repro_x_total")
+    with pytest.raises(ValueError):
+        registry.histogram("repro_x_total", le="oops")
+    with pytest.raises(ValueError):
+        registry.counter("not a metric name")
+    with pytest.raises(ValueError):
+        registry.counter("repro_ok_total", **{"0bad": 1})
+
+
+def test_prometheus_exposition():
+    registry = MetricsRegistry()
+    registry.counter("repro_traps_total", "kernel traps", node=0).inc(3)
+    registry.counter("repro_traps_total", node=1).inc(5)
+    h = registry.histogram("repro_lat_ns", "latency")
+    h.observe(100)
+    h.observe(300)
+    text = registry.render_prometheus()
+    assert "# HELP repro_traps_total kernel traps" in text
+    assert text.count("# TYPE repro_traps_total counter") == 1
+    assert 'repro_traps_total{node="0"} 3' in text
+    assert 'repro_traps_total{node="1"} 5' in text
+    assert "# TYPE repro_lat_ns histogram" in text
+    assert 'repro_lat_ns_bucket{le="+Inf"} 2' in text
+    assert "repro_lat_ns_sum 400" in text
+    assert "repro_lat_ns_count 2" in text
+    assert 'repro_lat_ns{quantile="0.5"} 100' in text
+
+
+def test_json_export():
+    registry = MetricsRegistry()
+    registry.gauge("repro_depth", "d", port=2).set(4)
+    h = registry.histogram("repro_lat_ns")
+    h.observe(50)
+    doc = json.loads(registry.to_json())
+    by_name = {entry["name"]: entry for entry in doc["metrics"]}
+    assert by_name["repro_depth"]["value"] == 4.0
+    assert by_name["repro_depth"]["labels"] == {"port": "2"}
+    assert by_name["repro_lat_ns"]["count"] == 1
+    assert by_name["repro_lat_ns"]["p99"] == 50
+
+
+def test_registry_iteration_sorted():
+    registry = MetricsRegistry()
+    registry.counter("repro_b_total", node=1)
+    registry.counter("repro_a_total", node=2)
+    registry.counter("repro_a_total", node=1)
+    keys = [(i.name, i.labels) for i in registry]
+    assert keys == sorted(keys)
+
+
+def test_instrument_kinds():
+    assert Counter("c", "", ()).kind == "counter"
+    assert Gauge("g", "", ()).kind == "gauge"
+    assert Histogram("h", "", ()).kind == "histogram"
