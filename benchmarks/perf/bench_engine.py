@@ -1,0 +1,123 @@
+"""Engine microbenchmarks: calendar queue vs. the legacy binary heap.
+
+Three scenarios stress different cost centres of the event core:
+
+* ``churn`` — pure scheduler throughput: a large batch of timeouts over
+  a small set of coincident instants, no processes.  This isolates the
+  queue data structure (the binary heap pays O(log n) per event; the
+  calendar pays O(1) plus one heap operation per *distinct* instant)
+  and is the headline ">= 2x" scenario the CI gate enforces.
+* ``lockstep`` — wide fan-in: many processes sleeping in lockstep, so
+  every instant wakes a crowd (generator resume cost included).
+* ``cascade`` — immediate-event chains (``succeed`` at the current
+  instant), the Store/Resource hand-off pattern; process-bound.
+
+Event counts are deterministic; events/sec is machine-dependent, but
+the calendar/heap *ratio* within one run is not (both sides run on the
+same interpreter seconds apart), which is what the gate leans on.
+"""
+
+from __future__ import annotations
+
+import gc
+import time
+from typing import Callable
+
+from repro.sim import Environment
+
+from benchmarks.perf.common import write_bench
+
+SEED = 1
+
+#: (scenario, events) -- sized so the whole suite stays in CI-smoke
+#: territory (a few seconds) while each timing is long enough to trust
+CHURN_EVENTS = 400_000
+LOCKSTEP_PROCS = 1024
+LOCKSTEP_ROUNDS = 200
+CASCADE_PROCS = 4
+CASCADE_ROUNDS = 50_000
+#: best-of-N wall time per measurement; simulated results are
+#: deterministic, so repeats only suppress scheduler/GC noise spikes
+REPEATS = 3
+
+
+def _fill_churn(env: Environment) -> None:
+    for i in range(CHURN_EVENTS):
+        env.timeout(i % 64)
+
+
+def _fill_lockstep(env: Environment) -> None:
+    def proc():
+        for _ in range(LOCKSTEP_ROUNDS):
+            yield env.sleep(100)
+    for _ in range(LOCKSTEP_PROCS):
+        env.process(proc())
+
+
+def _fill_cascade(env: Environment) -> None:
+    def proc():
+        for _ in range(CASCADE_ROUNDS):
+            ev = env.event()
+            ev.succeed()
+            yield ev
+    for _ in range(CASCADE_PROCS):
+        env.process(proc())
+
+
+SCENARIOS: tuple[tuple[str, Callable[[Environment], None]], ...] = (
+    ("churn", _fill_churn),
+    ("lockstep", _fill_lockstep),
+    ("cascade", _fill_cascade),
+)
+
+
+def _run_one(scenario: str, fill: Callable[[Environment], None],
+             scheduler: str) -> dict:
+    wall = None
+    for _ in range(REPEATS):
+        env = Environment(scheduler=scheduler)
+        gc.collect()
+        t = time.perf_counter()
+        fill(env)
+        env.run()
+        t = time.perf_counter() - t
+        wall = t if wall is None else min(wall, t)
+    return {
+        "name": f"{scenario}-{scheduler}",
+        "scenario": scenario,
+        "scheduler": scheduler,
+        "events": env.events_processed,
+        "final_sim_ns": env.now,
+        "wall_s": round(wall, 6),
+        "events_per_sec": round(env.events_processed / wall, 1),
+    }
+
+
+def run(out_path="BENCH_engine.json") -> dict:
+    results = []
+    for scenario, fill in SCENARIOS:
+        for scheduler in ("heap", "calendar"):
+            results.append(_run_one(scenario, fill, scheduler))
+    by_name = {r["name"]: r for r in results}
+    ratios = {
+        scenario: round(
+            by_name[f"{scenario}-calendar"]["events_per_sec"]
+            / by_name[f"{scenario}-heap"]["events_per_sec"], 3)
+        for scenario, _ in SCENARIOS
+    }
+    return write_bench(
+        out_path, "engine",
+        units={"events": "count", "final_sim_ns": "simulated ns",
+               "wall_s": "seconds", "events_per_sec": "events/second",
+               "calendar_vs_heap": "speedup ratio (calendar/heap)"},
+        results=results, seed=SEED,
+        extra={"calendar_vs_heap": ratios})
+
+
+if __name__ == "__main__":
+    doc = run()
+    for r in doc["results"]:
+        print(f"{r['name']:22s} {r['events_per_sec']:>12,.0f} events/s "
+              f"({r['events']} events)")
+    for scenario, ratio in doc["calendar_vs_heap"].items():
+        print(f"calendar/heap {scenario:10s} {ratio:.2f}x")

@@ -1,0 +1,75 @@
+"""Shared schema and metadata for the BENCH_*.json artifacts.
+
+Every artifact carries:
+
+* ``schema`` — format tag (bump on incompatible layout changes);
+* ``suite`` — ``"engine"`` or ``"experiments"``;
+* ``units`` — the unit of every numeric result field, spelled out so a
+  reader never has to guess;
+* ``meta`` — run provenance: git sha, python, platform, UTC timestamp,
+  and the benchmark seed;
+* ``results`` — a list of per-scenario measurement objects.
+
+Simulated quantities (event counts, simulated nanoseconds) are
+deterministic for a given seed; wall-clock fields are machine-dependent
+and only comparable against a baseline from similar hardware (the CI
+gate allows 20 % of noise headroom).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Any
+
+SCHEMA = "repro-bench/1"
+
+#: required top-level keys of every BENCH_*.json document
+REQUIRED_KEYS = ("schema", "suite", "units", "meta", "results")
+#: required keys of the ``meta`` object
+REQUIRED_META_KEYS = ("git_sha", "python", "platform", "timestamp_utc",
+                      "seed")
+
+
+def git_sha() -> str:
+    """The checked-out commit, or ``"unknown"`` outside a git repo."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True, text=True, timeout=10)
+    except OSError:
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+def run_metadata(seed: int) -> dict[str, Any]:
+    return {
+        "git_sha": git_sha(),
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "timestamp_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "seed": seed,
+    }
+
+
+def write_bench(path: Path | str, suite: str, units: dict[str, str],
+                results: list[dict[str, Any]], seed: int,
+                extra: dict[str, Any] | None = None) -> dict[str, Any]:
+    """Assemble and write one BENCH_*.json document; returns it."""
+    doc: dict[str, Any] = {
+        "schema": SCHEMA,
+        "suite": suite,
+        "units": units,
+        "meta": run_metadata(seed),
+        "results": results,
+    }
+    if extra:
+        doc.update(extra)
+    Path(path).write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return doc

@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Performance-trajectory gate for the BENCH_*.json artifacts.
+
+Compares a fresh ``BENCH_engine.json`` against the committed baseline
+under ``benchmarks/perf/baseline/`` and fails (exit 1) when:
+
+* any scenario's ``events_per_sec`` drops more than ``--tolerance``
+  (default 20 %) below the baseline, or
+* the calendar/heap speedup ratio of the ``churn`` scenario — the
+  scheduler-bound headline number — falls below ``--ratio-floor``
+  (default 2.0).
+
+Absolute events/sec is machine-dependent, so the drop check only fires
+when the fresh run's metadata reports the same platform string as the
+baseline (CI runners are homogeneous; a laptop comparing itself against
+the CI baseline would be noise).  The ratio check is within-run — both
+schedulers execute on the same interpreter seconds apart — and is
+enforced unconditionally.
+
+Usage::
+
+    python ci/perf_gate.py BENCH_engine.json [--baseline PATH]
+        [--tolerance 0.20] [--ratio-floor 2.0]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_BASELINE = os.path.join(
+    ROOT, "benchmarks", "perf", "baseline", "BENCH_engine.json")
+
+
+def load(path: str) -> dict:
+    with open(path) as fh:
+        doc = json.load(fh)
+    for key in ("schema", "suite", "meta", "results"):
+        if key not in doc:
+            raise SystemExit(f"{path}: missing required key {key!r}")
+    return doc
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("fresh", help="freshly produced BENCH_engine.json")
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE,
+                        help="committed baseline to compare against")
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="allowed fractional events/sec drop")
+    parser.add_argument("--ratio-floor", type=float, default=2.0,
+                        help="minimum calendar/heap ratio for 'churn'")
+    args = parser.parse_args(argv)
+
+    fresh = load(args.fresh)
+    base = load(args.baseline)
+    failures: list[str] = []
+
+    churn = fresh.get("calendar_vs_heap", {}).get("churn")
+    if churn is None:
+        failures.append("fresh run has no calendar_vs_heap.churn ratio")
+    elif churn < args.ratio_floor:
+        failures.append(
+            f"calendar/heap churn speedup {churn:.2f}x is below the "
+            f"{args.ratio_floor:.2f}x floor")
+    else:
+        print(f"ok: calendar/heap churn speedup {churn:.2f}x "
+              f">= {args.ratio_floor:.2f}x")
+
+    same_platform = (fresh["meta"].get("platform")
+                     == base["meta"].get("platform"))
+    if not same_platform:
+        print("note: platform differs from baseline "
+              f"({fresh['meta'].get('platform')!r} vs "
+              f"{base['meta'].get('platform')!r}); "
+              "skipping absolute events/sec comparison")
+    else:
+        base_by_name = {r["name"]: r for r in base["results"]}
+        for result in fresh["results"]:
+            ref = base_by_name.get(result["name"])
+            if ref is None or "events_per_sec" not in result:
+                continue
+            got, want = result["events_per_sec"], ref["events_per_sec"]
+            floor = want * (1.0 - args.tolerance)
+            line = (f"{result['name']}: {got:,.0f} events/s "
+                    f"(baseline {want:,.0f}, floor {floor:,.0f})")
+            if got < floor:
+                failures.append(f"events/sec regression in {line}")
+            else:
+                print(f"ok: {line}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("perf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -287,8 +287,6 @@ def _cmd_faults(args) -> int:
 
 def _audit_selftest() -> int:
     """One deliberate violation per checker; each must raise AuditError."""
-    from heapq import heappush
-
     from repro import audit
     from repro.audit import AuditError, Auditor
     from repro.instrument.measure import measure_one_way
@@ -313,9 +311,7 @@ def _audit_selftest() -> int:
         ev = Event(env)
         ev._ok = True
         ev._value = None
-        ev._scheduled = True
-        heappush(env._heap, (50, env._seq, ev))
-        env._seq += 1
+        env._schedule_at(ev, 50)
         env.run()
 
     def orphaned_waiter():
@@ -348,7 +344,7 @@ def _audit_selftest() -> int:
             ep.eadi._credits[1 - ep.rank] = \
                 ep.eadi._credits_initial + 5
             ep.eadi._release_credits(1 - ep.rank, 1)
-            yield cluster.env.timeout(0)
+            yield cluster.env.sleep(0)
 
         run_spmd(cluster, 2, tamper)
 
@@ -359,7 +355,7 @@ def _audit_selftest() -> int:
         def leak(ep):
             ep.close()
             ep.eadi._credit_waiters[1 - ep.rank] = [Event(cluster.env)]
-            yield cluster.env.timeout(0)
+            yield cluster.env.sleep(0)
             return ep
 
         endpoints = run_spmd(cluster, 2, leak)   # keep endpoints alive

@@ -148,6 +148,19 @@ class CostModel:
     shm_chunk_bytes: int = 8192       # pipelining granularity
     shm_ring_slots: int = 16
 
+    # ------------------------------------------------------- engine tuning
+    #: Carry length-only flyweight payloads instead of real bytes.  All
+    #: virtual timing derives from payload *lengths* (wire occupancy,
+    #: DMA sizes, copy costs), so schedules and clocks are identical;
+    #: only content checks differ (delivery oracles that verify bytes
+    #: must run with real payloads).
+    flyweight_payloads: bool = False
+    #: Model a host DMA as one coalesced bus hold covering all bursts
+    #: instead of re-arbitrating the PCI bus per 4 KB burst.  Total
+    #: transfer time is preserved exactly (per-burst rounding included);
+    #: what coarsens is arbitration granularity under bus contention.
+    dma_burst_coalesce: bool = False
+
     # -------------------------------------------------------- upper layers
     eadi_eager_threshold: int = 4096  # <= goes through the system channel
     eadi_segment_bytes: int = 65536   # rendezvous segment grant size

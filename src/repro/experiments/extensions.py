@@ -59,7 +59,7 @@ def _concurrent_intra_pairs(cfg: CostModel, n_pairs: int,
             for i in range(messages):
                 while cluster.node(0).nic.port_state(
                         recv_port.port_id).normal[0] is None:
-                    yield env.timeout(1000)
+                    yield env.sleep(1000)
                 yield from send_port.send(dest, sbuf, nbytes)
                 yield from send_port.wait_send()
 

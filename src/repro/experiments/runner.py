@@ -36,7 +36,8 @@ from repro.experiments.cache import RunCache, default_cache_dir
 from repro.experiments.common import ExperimentResult, result_from_payload, \
     result_to_payload
 
-__all__ = ["run_all", "plan", "main", "Cell", "Experiment", "EXPERIMENTS"]
+__all__ = ["run_all", "run_cell", "plan", "main", "Cell", "Experiment",
+           "EXPERIMENTS"]
 
 
 @dataclass(frozen=True)
@@ -216,6 +217,20 @@ def plan(include_ablations: bool = True, include_extensions: bool = True,
 def _run_cell(work: tuple) -> Any:
     """Pool worker entry point: ``(fn_key, cfg, params) -> payload``."""
     fn, cfg, params = work
+    return CELL_FNS[fn](cfg, **params)
+
+
+def run_cell(fn: str, cfg: CostModel = DAWNING_3000, **params: Any) -> Any:
+    """Run one registered cell synchronously, bypassing pool and cache.
+
+    The perf trajectory (``benchmarks/perf``) times canonical cells
+    through this entry point so its wall-clock numbers measure exactly
+    what ``run_all`` executes, without cache hits or worker start-up
+    noise.
+    """
+    if fn not in CELL_FNS:
+        raise ValueError(f"unknown cell fn {fn!r} "
+                         f"(known: {sorted(CELL_FNS)})")
     return CELL_FNS[fn](cfg, **params)
 
 

@@ -31,6 +31,7 @@ from repro.firmware.descriptors import BclEvent, EventKind, SendRequest
 from repro.config import CostModel
 from repro.firmware.packet import (
     ChannelKind,
+    FlyweightPayload,
     Packet,
     PacketType,
     fragment_offsets,
@@ -122,7 +123,7 @@ class Mcp:
               message_id: Optional[int] = None) -> Generator:
         """Charge LANai processing time (not scaled by host CPU MHz)."""
         start = self.env.now
-        yield self.env.timeout(us(cost_us))
+        yield self.env.sleep(us(cost_us))
         self._trace(start, "mcp", stage, message_id)
 
     def register_metrics(self, registry) -> None:
@@ -256,7 +257,7 @@ class Mcp:
                 yield from self._gather_with_cut_through(
                     frag_len, request.message_id)
                 frag_segs = slice_segments(segments, offset, frag_len)
-                payload = self.nic.host_memory.read_gather(frag_segs)
+                payload = self._read_payload(frag_segs, frag_len)
                 callbacks.append(lambda s=staging: self._staging.release(s))
             else:
                 payload = b""
@@ -308,7 +309,7 @@ class Mcp:
             start = self.env.now
             serialization = transfer_time_ns(
                 packet.wire_bytes(cfg.wire_header_bytes), cfg.wire_mb_s)
-            yield self.env.timeout(us(cfg.wire_inject_us) + serialization)
+            yield self.env.sleep(us(cfg.wire_inject_us) + serialization)
             self._trace(start, "wire", "wire_inject", packet.message_id,
                         nbytes=len(packet.payload))
             # Egress fault domain: the packet was injected (costs and
@@ -327,10 +328,10 @@ class Mcp:
                     yield self.nic.endpoint.send(out_packet)
             for callback in callbacks:
                 callback()
-            yield self.env.timeout(gap)
+            yield self.env.sleep(gap)
 
     def _send_delayed(self, packet: Packet, delay_ns: int) -> Generator:
-        yield self.env.timeout(delay_ns)
+        yield self.env.sleep(delay_ns)
         yield self.nic.endpoint.send(packet)
 
     # -------------------------------------------------------- recv engine
@@ -522,8 +523,8 @@ class Mcp:
             if frag_len:
                 yield from self._gather_with_cut_through(
                     frag_len, packet.message_id)
-                payload = self.nic.host_memory.read_gather(
-                    slice_segments(segments, offset, frag_len))
+                payload = self._read_payload(
+                    slice_segments(segments, offset, frag_len), frag_len)
             else:
                 payload = b""
             response = Packet(
@@ -566,6 +567,19 @@ class Mcp:
             yield from self._deliver_event(owner, owner.recv_queue, event)
 
     # ----------------------------------------------------------- plumbing
+    def _read_payload(self, frag_segs: list[tuple[int, int]],
+                      frag_len: int):
+        """Materialize a fragment's payload from host memory.
+
+        With ``cfg.flyweight_payloads`` the O(bytes) gather copy is
+        replaced by a length-only flyweight — the scatter list has
+        already been resolved and validated, so addressing errors
+        surface identically; only the byte copy is elided.
+        """
+        if self.cfg.flyweight_payloads:
+            return FlyweightPayload(frag_len)
+        return self.nic.host_memory.read_gather(frag_segs)
+
     def _gather_with_cut_through(self, frag_len: int,
                                  message_id: Optional[int]) -> Generator:
         """Host->NIC DMA of a fragment, releasing the injector early.
@@ -599,7 +613,8 @@ class Mcp:
         remainder = min(len(packet.payload), self.cfg.pipeline_chunk_bytes)
         yield from self.nic.pci.dma(remainder, stage="dma_nic_to_host",
                                     message_id=packet.message_id)
-        self.nic.host_memory.write_scatter(segments, packet.payload)
+        if type(packet.payload) is not FlyweightPayload:
+            self.nic.host_memory.write_scatter(segments, packet.payload)
 
     def _track_reassembly(self, port: NicPortState,
                           packet: Packet) -> tuple[bool, str]:

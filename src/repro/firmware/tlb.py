@@ -55,12 +55,12 @@ class NicTlb:
         if key in self._entries:
             self.hits += 1
             self._entries.move_to_end(key)
-            yield self.env.timeout(us(self.cfg.nic_tlb_hit_us))
+            yield self.env.sleep(us(self.cfg.nic_tlb_hit_us))
             frame = self._entries[key]
             outcome = "nic_tlb_hit"
         else:
             self.misses += 1
-            yield self.env.timeout(us(self.cfg.nic_tlb_miss_us))
+            yield self.env.sleep(us(self.cfg.nic_tlb_miss_us))
             frame = fetch_translation(pid, vpage)
             self._insert(key, frame)
             outcome = "nic_tlb_miss"

@@ -45,7 +45,7 @@ class Cpu:
         with self._resource.request() as req:
             yield req
             start = self.env.now
-            yield self.env.timeout(duration)
+            yield self.env.sleep(duration)
             self.busy_ns += duration
             if self.tracer is not None:
                 self.tracer.record(start, self.env.now, category, stage,

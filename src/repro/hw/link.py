@@ -17,8 +17,10 @@ Fault injection: a link may carry an *injector* (see
 :mod:`repro.faults`) that adjudicates each packet into zero or more
 deliveries — drop, corrupt, duplicate, or delay/reorder.  Faulted
 packets still occupy the serialization window (the bits crossed the
-wire before being lost), so lossy links congest realistically; each
-extra duplicate copy holds the direction for one more window.
+wire before being lost), so lossy links congest realistically.  A
+duplicated packet is one physical wire crossing adjudicated into two
+deliveries, so it holds exactly one window — occupancy accounts wire
+time, not delivery count.
 """
 
 from __future__ import annotations
@@ -125,21 +127,23 @@ class Link:
                 outcomes = ((0, packet),)
             # A dropped or corrupted packet crossed the wire before it
             # was lost, so it occupies the serialization window like any
-            # other; each duplicate copy holds one more window.
-            occupancy = serialization * max(1, len(outcomes))
-            self.busy_ns[src] += occupancy
+            # other.  A duplicate is a single physical crossing
+            # adjudicated into two deliveries: it holds exactly one
+            # window (multiplying by the outcome count double-charged
+            # busy_ns versus actual wire time).
+            self.busy_ns[src] += serialization
             if not outcomes:
                 self.packets_dropped += 1
-                yield self.env.timeout(serialization)
+                yield self.env.sleep(serialization)
                 continue
             self.packets_carried += 1
             for extra_delay, out_packet in outcomes:
                 self.env.process(
                     self._deliver_after(dst, out_packet, prop + extra_delay),
                     name=f"{self.name}.deliver")
-            yield self.env.timeout(occupancy)
+            yield self.env.sleep(serialization)
 
     def _deliver_after(self, dst: LinkEndpoint, packet: Packet,
                        delay: int) -> Generator:
-        yield self.env.timeout(delay)
+        yield self.env.sleep(delay)
         dst._deliver(packet)

@@ -149,7 +149,7 @@ class Nic:
         self.rx_packets.try_put(packet)
 
     def _rx_delayed(self, packet, delay_ns: int):
-        yield self.env.timeout(delay_ns)
+        yield self.env.sleep(delay_ns)
         self.rx_packets.try_put(packet)
 
     # ----------------------------------------------------------- control

@@ -53,7 +53,7 @@ class Switch:
         latency = us(self.cfg.switch_latency_us)
         while True:
             packet: Packet = yield inbox.get()
-            yield self.env.timeout(latency)
+            yield self.env.sleep(latency)
             try:
                 out_port, forwarded = packet.hop()
             except ValueError:

@@ -19,11 +19,27 @@ loop is tuned:
   the first waiter attaches (``callbacks`` stays a plain list for
   waiters; it reads as ``None`` once the event is processed, exactly as
   before);
-* :meth:`Environment.timeout` recycles processed :class:`Timeout`
-  objects from a free pool.  Recycling is guarded by a refcount check,
-  so a timeout anyone still holds a reference to (``t = env.timeout(x)``
-  kept around, condition members, ``run(until=t)`` targets) is never
-  reused;
+* the default scheduler is a *calendar queue*: pending events live in
+  per-instant buckets (plain lists in scheduling order) and only the
+  set of **distinct** occupied timestamps sits in a binary heap.  An
+  event triggered at the current instant — the dominant case: every
+  ``succeed``/``fail``, every Store hand-off — is one list append and
+  one indexed read, no heap traffic at all; a timeout shares its
+  bucket (and therefore its heap entry) with every other event landing
+  on the same nanosecond.  Far-future or sparse events degrade
+  gracefully to the distinct-times heap.  Pop order is identical to
+  the classic ``(time, seq)`` heap, so runs are byte-for-byte the
+  same; ``Environment(scheduler="heap")`` keeps the legacy heap for
+  differential testing, and any ``tie_break`` policy forces it (an
+  arbitrary tie key needs a real priority queue);
+* :meth:`Environment.sleep` recycles processed :class:`Timeout`
+  objects from a free pool.  Recycling is opt-in and guarded by an
+  explicit ``_recycle`` flag rather than a refcount probe (which
+  silently stopped firing under ``coverage``/``sys.settrace``):
+  ``sleep()`` timeouts are fire-and-forget by contract — yield them
+  immediately and never retain them — while :meth:`Environment.timeout`
+  events are never pooled and safe to hold, pass to conditions, or use
+  as ``run(until=...)`` targets;
 * :meth:`Environment.run` processes events in an inlined loop instead
   of dispatching through :meth:`step` per event.
 
@@ -42,7 +58,6 @@ tie-break orderings the default FIFO run never exercises.
 from __future__ import annotations
 
 from heapq import heappop, heappush
-from sys import getrefcount as _getrefcount
 from typing import Any, Callable, Generator, Iterable, Optional
 
 __all__ = [
@@ -78,6 +93,9 @@ _PENDING = object()
 _PROCESSED = object()
 #: maximum number of recycled Timeout objects kept per environment
 _POOL_MAX = 256
+#: compact the current calendar bucket once this many slots are consumed,
+#: so a long same-instant cascade does not grow the list without bound
+_COMPACT = 4096
 
 
 class Event:
@@ -138,12 +156,17 @@ class Event:
         self._value = value
         self._scheduled = True
         env = self.env
-        tb = env._tie_break
-        seq = env._seq
-        heappush(env._heap,
-                 (env._now, seq if tb is None else tb.key(env._now, seq),
-                  self))
-        env._seq = seq + 1
+        if env._use_heap:
+            tb = env._tie_break
+            seq = env._seq
+            heappush(env._heap,
+                     (env._now, seq if tb is None else tb.key(env._now, seq),
+                      self))
+            env._seq = seq + 1
+        else:
+            # Calendar fast path: triggering always lands on the current
+            # instant, which is exactly the open bucket.
+            env._bucket.append(self)
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -156,12 +179,15 @@ class Event:
         self._value = exception
         self._scheduled = True
         env = self.env
-        tb = env._tie_break
-        seq = env._seq
-        heappush(env._heap,
-                 (env._now, seq if tb is None else tb.key(env._now, seq),
-                  self))
-        env._seq = seq + 1
+        if env._use_heap:
+            tb = env._tie_break
+            seq = env._seq
+            heappush(env._heap,
+                     (env._now, seq if tb is None else tb.key(env._now, seq),
+                      self))
+            env._seq = seq + 1
+        else:
+            env._bucket.append(self)
         return self
 
     def defuse(self) -> None:
@@ -184,9 +210,15 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that fires ``delay`` nanoseconds after creation."""
+    """An event that fires ``delay`` nanoseconds after creation.
 
-    __slots__ = ("delay",)
+    ``_recycle`` marks a timeout as pool-eligible: only
+    :meth:`Environment.sleep` sets it, and only the run loop consults
+    it.  A plain :meth:`Environment.timeout` event is never recycled,
+    so it is always safe to retain.
+    """
+
+    __slots__ = ("delay", "_recycle")
 
     def __init__(self, env: "Environment", delay: int, value: Any = None):
         if delay < 0:
@@ -198,12 +230,8 @@ class Timeout(Event):
         self._defused = False
         self._scheduled = True
         self.delay = delay
-        when = env._now + delay
-        tb = env._tie_break
-        seq = env._seq
-        heappush(env._heap,
-                 (when, seq if tb is None else tb.key(when, seq), self))
-        env._seq = seq + 1
+        self._recycle = False
+        env._push(env._now + delay, self)
 
 
 class _ConditionBase(Event):
@@ -370,7 +398,7 @@ class Process(Event):
 
 
 class Environment:
-    """Owner of the virtual clock and the event heap.
+    """Owner of the virtual clock and the pending-event queue.
 
     ``tie_break`` selects the same-instant ordering policy: ``None``
     (the default) keeps strict FIFO scheduling order and is
@@ -378,12 +406,25 @@ class Environment:
     a ``key(when, seq) -> int`` method (e.g.
     :class:`repro.fuzz.policies.ShuffledTieBreak`) replaces the heap
     tie key, deterministically permuting same-timestamp events.
+
+    ``scheduler`` picks the queue implementation: ``"calendar"`` (the
+    default) keeps per-instant buckets with a heap of distinct
+    timestamps; ``"heap"`` is the classic ``(time, seq)`` binary heap.
+    Both produce identical schedules for FIFO runs — the heap survives
+    as the differential-testing reference and as the carrier for
+    ``tie_break`` policies, which force it.
     """
 
     __slots__ = ("_now", "_heap", "_seq", "_active_process", "_timeout_pool",
-                 "_audit", "_tie_break", "_telemetry")
+                 "_audit", "_tie_break", "_telemetry", "_use_heap",
+                 "_bucket", "_pos", "_buckets", "_times", "_n_events")
 
-    def __init__(self, initial_time: int = 0, tie_break=None):
+    def __init__(self, initial_time: int = 0, tie_break=None,
+                 scheduler: str = "calendar"):
+        if scheduler not in ("calendar", "heap"):
+            raise SimulationError(
+                f"unknown scheduler {scheduler!r} "
+                "(expected 'calendar' or 'heap')")
         self._now: int = initial_time
         self._heap: list[tuple[int, int, Event]] = []
         self._seq: int = 0
@@ -402,11 +443,32 @@ class Environment:
                 f"tie_break policy {tie_break!r} has no key(when, seq) "
                 "method")
         self._tie_break = tie_break
+        # An arbitrary tie key needs a real priority queue; the calendar
+        # only preserves FIFO order within a bucket.
+        self._use_heap = scheduler == "heap" or tie_break is not None
+        #: events pending at the current instant, consumed by index
+        self._bucket: list[Event] = []
+        self._pos: int = 0
+        #: future (or, via _schedule_at, past) instants -> their buckets
+        self._buckets: dict[int, list[Event]] = {}
+        #: heap of the *distinct* occupied timestamps in _buckets
+        self._times: list[int] = []
+        self._n_events: int = 0
 
     @property
     def tie_break(self):
         """The installed tie-break policy (``None`` = strict FIFO)."""
         return self._tie_break
+
+    @property
+    def scheduler(self) -> str:
+        """Active queue implementation: ``"calendar"`` or ``"heap"``."""
+        return "heap" if self._use_heap else "calendar"
+
+    @property
+    def events_processed(self) -> int:
+        """Total events processed so far (perf-benchmark counter)."""
+        return self._n_events
 
     @property
     def now(self) -> int:
@@ -422,6 +484,26 @@ class Environment:
         return Event(self)
 
     def timeout(self, delay: int, value: Any = None) -> Timeout:
+        """A timer event that is safe to retain.
+
+        The returned event is never recycled, so it may be stored,
+        passed to :meth:`all_of`/:meth:`any_of`, or used as a
+        ``run(until=...)`` target.  Hot paths that just pause should
+        prefer :meth:`sleep`.
+        """
+        return Timeout(self, int(delay), value)
+
+    def sleep(self, delay: int) -> Timeout:
+        """A fire-and-forget timer for hot paths; pooled and recycled.
+
+        Contract: ``yield env.sleep(d)`` immediately and do not retain
+        the returned event — once its callbacks have run, the engine
+        recycles it into a free pool for a later ``sleep()``.  The
+        hardware and firmware models use this for every wire, DMA and
+        processing delay.  Code that keeps the event around (conditions,
+        ``run(until=...)`` targets, value-carrying timers) must use
+        :meth:`timeout` instead.
+        """
         delay = int(delay)
         pool = self._timeout_pool
         if pool:
@@ -429,18 +511,15 @@ class Environment:
                 raise SimulationError(f"negative timeout delay {delay}")
             t = pool.pop()
             t._callbacks = None
-            t._value = value
+            t._value = None
             t._ok = True
             t._defused = False
             t.delay = delay
-            when = self._now + delay
-            tb = self._tie_break
-            seq = self._seq
-            heappush(self._heap,
-                     (when, seq if tb is None else tb.key(when, seq), t))
-            self._seq = seq + 1
+            self._push(self._now + delay, t)
             return t
-        return Timeout(self, delay, value)
+        t = Timeout(self, delay)
+        t._recycle = True
+        return t
 
     def process(self, generator: Generator, name: Optional[str] = None) -> Process:
         return Process(self, generator, name)
@@ -452,49 +531,93 @@ class Environment:
         return AnyOf(self, events)
 
     # -- scheduling ----------------------------------------------------
+    def _push(self, when: int, event: Event) -> None:
+        """Enqueue a triggered event for processing at ``when``."""
+        if self._use_heap:
+            tb = self._tie_break
+            seq = self._seq
+            heappush(self._heap,
+                     (when, seq if tb is None else tb.key(when, seq), event))
+            self._seq = seq + 1
+        elif when == self._now:
+            self._bucket.append(event)
+        else:
+            bucket = self._buckets.get(when)
+            if bucket is None:
+                # First event on this instant: the only heap operation a
+                # whole bucket ever costs.
+                self._buckets[when] = [event]
+                heappush(self._times, when)
+            else:
+                bucket.append(event)
+
     def _schedule(self, event: Event, delay: int) -> None:
         if event._scheduled:
             raise SimulationError(f"{event!r} already scheduled")
         event._scheduled = True
-        when = self._now + delay
-        tb = self._tie_break
-        seq = self._seq
-        heappush(self._heap,
-                 (when, seq if tb is None else tb.key(when, seq), event))
-        self._seq = seq + 1
+        self._push(self._now + delay, event)
+
+    def _schedule_at(self, event: Event, when: int) -> None:
+        """Schedule a triggered event at an absolute time (test hook).
+
+        Unlike every public path this accepts a ``when`` in the past;
+        the run loop surfaces such events to the auditor's past-event
+        check.  Used by the audit selftest to provoke exactly that
+        violation without reaching into queue internals.
+        """
+        if event._scheduled:
+            raise SimulationError(f"{event!r} already scheduled")
+        event._scheduled = True
+        self._push(when, event)
 
     def peek(self) -> Optional[int]:
-        """Time of the next scheduled event, or None if the heap is empty."""
-        return self._heap[0][0] if self._heap else None
+        """Time of the next scheduled event, or None when idle."""
+        if self._use_heap:
+            return self._heap[0][0] if self._heap else None
+        if self._pos < len(self._bucket):
+            return self._now
+        return self._times[0] if self._times else None
 
     def step(self) -> None:
         """Process exactly one event."""
-        if not self._heap:
-            raise SimulationError("no scheduled events")
-        when, _, event = heappop(self._heap)
-        if when < self._now:  # pragma: no cover - engine invariant
-            raise SimulationError("time went backwards")
-        self._now = when
+        if self._use_heap:
+            if not self._heap:
+                raise SimulationError("no scheduled events")
+            when, _, event = heappop(self._heap)
+            if when < self._now:  # pragma: no cover - engine invariant
+                raise SimulationError("time went backwards")
+            self._now = when
+        else:
+            if self._pos >= len(self._bucket):
+                if not self._times:
+                    raise SimulationError("no scheduled events")
+                when = heappop(self._times)
+                if when < self._now:  # pragma: no cover - engine invariant
+                    raise SimulationError("time went backwards")
+                self._bucket = self._buckets.pop(when)
+                self._pos = 0
+                self._now = when
+            event = self._bucket[self._pos]
+            self._pos += 1
+        self._n_events += 1
         callbacks = event._callbacks
         event._callbacks = _PROCESSED
-        if callbacks is not None:
+        if callbacks:
             for callback in callbacks:
                 callback(event)
+            if type(event) is Timeout and event._recycle \
+                    and len(self._timeout_pool) < _POOL_MAX:
+                self._timeout_pool.append(event)
         if not event._ok and not event._defused:
             # An unhandled simulated failure is a real failure.
             raise event._value
-        # Recycle the timeout unless someone still holds a reference
-        # (the only refs left are this frame's local + getrefcount's arg).
-        if type(event) is Timeout and len(self._timeout_pool) < _POOL_MAX \
-                and _getrefcount(event) == 2:
-            self._timeout_pool.append(event)
 
     def run(self, until: Optional[int | Event] = None) -> Any:
         """Run the simulation.
 
         ``until`` may be an absolute time (ns), an :class:`Event` (run
         until it is processed, return its value), or ``None`` (run the
-        heap dry).
+        queue dry).
         """
         stop: Optional[Event] = None
         horizon: Optional[int] = None
@@ -506,42 +629,114 @@ class Environment:
                 if horizon < self._now:
                     raise SimulationError(
                         f"until={horizon} is in the past (now={self._now})")
-        heap = self._heap
+        if self._use_heap:
+            return self._run_heap(stop, horizon)
+        buckets = self._buckets
+        times = self._times
         pool = self._timeout_pool
-        getrefcount = _getrefcount
         audit = self._audit
-        while True:
-            if stop is not None:
-                if stop._callbacks is _PROCESSED:
+        bucket = self._bucket
+        pos = self._pos
+        n = self._n_events
+        try:
+            while True:
+                if stop is not None and stop._callbacks is _PROCESSED:
                     if not stop._ok:
                         raise stop._value
                     return stop._value
-                if not heap:
-                    raise SimulationError(
-                        "simulation ran out of events before the target "
-                        f"event triggered (deadlock at t={self._now} ns)")
-            elif horizon is not None:
-                if not heap or heap[0][0] > horizon:
-                    if audit is not None and not heap:
+                if pos < len(bucket):
+                    # Inlined hot path: one indexed read per event.
+                    event = bucket[pos]
+                    pos += 1
+                else:
+                    # Current instant drained — advance the clock to the
+                    # next occupied timestamp (or stop at the horizon).
+                    if not times:
+                        if stop is not None:
+                            raise SimulationError(
+                                "simulation ran out of events before the "
+                                "target event triggered (deadlock at "
+                                f"t={self._now} ns)")
+                        if audit is not None:
+                            audit.on_quiesce(self)
+                        if horizon is not None:
+                            self._now = horizon
+                        return None
+                    if horizon is not None and times[0] > horizon:
+                        self._now = horizon
+                        return None
+                    when = heappop(times)
+                    bucket = self._bucket = buckets.pop(when)
+                    pos = 0
+                    if audit is not None and when < self._now:
+                        audit.on_past_event(bucket[0], when, self._now)
+                    self._now = when
+                    continue
+                n += 1
+                callbacks = event._callbacks
+                event._callbacks = _PROCESSED
+                if callbacks:
+                    for callback in callbacks:
+                        callback(event)
+                    # Interrupt strips a waiter list down to []; such a
+                    # timeout may still be referenced by the process, so
+                    # only non-empty callback lists recycle.
+                    if type(event) is Timeout and event._recycle \
+                            and len(pool) < _POOL_MAX:
+                        pool.append(event)
+                if not event._ok and not event._defused:
+                    raise event._value
+                if pos >= _COMPACT:
+                    del bucket[:pos]
+                    pos = 0
+        finally:
+            self._pos = pos
+            self._n_events = n
+
+    def _run_heap(self, stop: Optional[Event],
+                  horizon: Optional[int]) -> Any:
+        """The classic binary-heap run loop (tie-break & differential
+        reference path)."""
+        heap = self._heap
+        pool = self._timeout_pool
+        audit = self._audit
+        n = self._n_events
+        try:
+            while True:
+                if stop is not None:
+                    if stop._callbacks is _PROCESSED:
+                        if not stop._ok:
+                            raise stop._value
+                        return stop._value
+                    if not heap:
+                        raise SimulationError(
+                            "simulation ran out of events before the target "
+                            f"event triggered (deadlock at t={self._now} ns)")
+                elif horizon is not None:
+                    if not heap or heap[0][0] > horizon:
+                        if audit is not None and not heap:
+                            audit.on_quiesce(self)
+                        self._now = horizon
+                        return None
+                elif not heap:
+                    if audit is not None:
                         audit.on_quiesce(self)
-                    self._now = horizon
                     return None
-            elif not heap:
-                if audit is not None:
-                    audit.on_quiesce(self)
-                return None
-            # Inlined step(): one dispatch per event is the hot path.
-            when, _, event = heappop(heap)
-            if audit is not None and when < self._now:
-                audit.on_past_event(event, when, self._now)
-            self._now = when
-            callbacks = event._callbacks
-            event._callbacks = _PROCESSED
-            if callbacks is not None:
-                for callback in callbacks:
-                    callback(event)
-            if not event._ok and not event._defused:
-                raise event._value
-            if type(event) is Timeout and len(pool) < _POOL_MAX \
-                    and getrefcount(event) == 2:
-                pool.append(event)
+                # Inlined step(): one dispatch per event is the hot path.
+                when, _, event = heappop(heap)
+                if audit is not None and when < self._now:
+                    audit.on_past_event(event, when, self._now)
+                self._now = when
+                n += 1
+                callbacks = event._callbacks
+                event._callbacks = _PROCESSED
+                if callbacks:
+                    for callback in callbacks:
+                        callback(event)
+                    if type(event) is Timeout and event._recycle \
+                            and len(pool) < _POOL_MAX:
+                        pool.append(event)
+                if not event._ok and not event._defused:
+                    raise event._value
+        finally:
+            self._n_events = n

@@ -122,13 +122,26 @@ class Histogram(Instrument):
 
     kind = "histogram"
 
-    def __init__(self, name: str, help: str, labels: LabelItems):
+    def __init__(self, name: str, help: str, labels: LabelItems,
+                 on_clamp: Optional[Callable[["Histogram", float],
+                                             None]] = None):
         super().__init__(name, help, labels)
         self.values: list[float] = []
         self._sorted: Optional[list[float]] = None
+        self._on_clamp = on_clamp
 
     def observe(self, value: float) -> None:
-        self.values.append(float(value))
+        value = float(value)
+        if value < 0.0:
+            # A negative duration is a measurement bug (clock misuse,
+            # span ended before it started); the log2 buckets start at
+            # 1.0 and would mis-bucket it.  Clamp to zero and surface
+            # the problem through the registry instead of skewing the
+            # distribution silently.
+            if self._on_clamp is not None:
+                self._on_clamp(self, value)
+            value = 0.0
+        self.values.append(value)
         self._sorted = None
 
     @property
@@ -150,6 +163,13 @@ class Histogram(Instrument):
         # nearest-rank: smallest value with cumulative share >= q
         rank = math.ceil(q * len(self._sorted))
         return self._sorted[max(rank, 1) - 1]
+
+    def percentile(self, p: float) -> float:
+        """Exact nearest-rank percentile for ``p`` in [0, 100];
+        0.0 on an empty histogram."""
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile {p} outside [0, 100]")
+        return self.quantile(p / 100.0)
 
     @property
     def p50(self) -> float:
@@ -194,6 +214,18 @@ class MetricsRegistry:
         self._instruments: dict[tuple[str, LabelItems], Instrument] = {}
         self._help: dict[str, str] = {}
         self._kind: dict[str, str] = {}
+        #: human-readable data-quality warnings (clamped observations),
+        #: newest last; purely observational, never consumed by the run
+        self.warnings: list[str] = []
+
+    def _on_histogram_clamp(self, histogram: Histogram,
+                            value: float) -> None:
+        self.counter("repro_metrics_clamped_total",
+                     "negative histogram observations clamped to zero",
+                     metric=histogram.name).inc()
+        self.warnings.append(
+            f"histogram {histogram.name}{_render_labels(histogram.labels)}: "
+            f"negative observation {value:g} clamped to 0")
 
     # ------------------------------------------------------------- create
     def _get_or_create(self, cls, name: str, help: str,
@@ -214,7 +246,8 @@ class MetricsRegistry:
                 f"{name} already registered as {self._kind[name]}, "
                 f"not {cls.kind}")
         if cls is Histogram:
-            instrument = cls(name, help, items)
+            instrument = cls(name, help, items,
+                             on_clamp=self._on_histogram_clamp)
         else:
             instrument = cls(name, help, items, fn=fn)
         self._instruments[key] = instrument

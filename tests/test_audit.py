@@ -1,7 +1,6 @@
 """The runtime invariant auditor: clean runs stay silent, broken
 invariants raise, audited runs are byte-identical to unaudited ones."""
 
-from heapq import heappush
 from types import SimpleNamespace
 
 import pytest
@@ -96,9 +95,7 @@ def test_past_event_detected():
     ev = Event(env)
     ev._ok = True
     ev._value = None
-    ev._scheduled = True
-    heappush(env._heap, (50, env._seq, ev))
-    env._seq += 1
+    env._schedule_at(ev, 50)
     with pytest.raises(AuditError) as exc:
         env.run()
     assert exc.value.violations[0].rule == "past-event"

@@ -1,0 +1,115 @@
+"""Calendar queue vs. binary heap: byte-identical simulations.
+
+The calendar scheduler is a drop-in replacement for the legacy heap:
+same pop order ``(time, insertion order)``, so every observable — the
+latency samples, payload verdicts, the final clock and the full
+canonicalized trace — must match byte for byte across schedulers, in
+clean, faulted and telemetry-enabled runs.  Flyweight payloads and DMA
+burst coalescing are time-exact fast paths, so they join the same
+equivalence class on the simulated-time observables.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.config import DAWNING_3000, LOSSY_DAWNING
+from repro.faults import FaultPlan
+from repro.instrument.export import chrome_trace_events
+from repro.instrument.measure import measure_one_way
+from repro.sim import Environment, SimulationError
+
+
+def _observe(env, **cluster_kwargs):
+    """One measurement; returns every observable the guard compares."""
+    cluster = Cluster(n_nodes=2, env=env, trace=True, **cluster_kwargs)
+    sample = measure_one_way(cluster, 4096, repeats=3, warmup=1)
+    events = chrome_trace_events(cluster.tracer)
+    id_map: dict[int, int] = {}
+    for event in events:
+        mid = event.get("args", {}).get("message_id")
+        if mid is not None:
+            event["args"]["message_id"] = id_map.setdefault(
+                mid, len(id_map))
+    return (tuple(sample.samples_us), sample.received_payloads_ok,
+            cluster.env.now, json.dumps(events, sort_keys=True))
+
+
+FAULTED = {"cfg": LOSSY_DAWNING,
+           "fault_plan": FaultPlan(seed=11, drop_rate=0.15)}
+
+
+@pytest.mark.parametrize("kwargs", [
+    pytest.param({}, id="default"),
+    pytest.param(FAULTED, id="faulted"),
+    pytest.param({"telemetry": True}, id="telemetry-on"),
+])
+def test_heap_and_calendar_byte_identical(kwargs):
+    calendar = _observe(Environment(scheduler="calendar"), **kwargs)
+    heap = _observe(Environment(scheduler="heap"), **kwargs)
+    assert calendar == heap
+
+
+def test_default_scheduler_is_calendar():
+    assert Environment().scheduler == "calendar"
+    assert Environment(scheduler="heap").scheduler == "heap"
+    with pytest.raises(SimulationError):
+        Environment(scheduler="fibonacci")
+
+
+def test_tie_break_forces_heap():
+    """Tie-break policies need a real priority queue over custom keys."""
+    from repro.fuzz import FifoTieBreak
+
+    assert Environment(tie_break=FifoTieBreak()).scheduler == "heap"
+
+
+def test_events_processed_counts_and_matches():
+    cal = Environment(scheduler="calendar")
+    for i in range(100):
+        cal.timeout(i % 7)
+    cal.run()
+    heap = Environment(scheduler="heap")
+    for i in range(100):
+        heap.timeout(i % 7)
+    heap.run()
+    assert cal.events_processed == heap.events_processed == 100
+    assert cal.now == heap.now
+
+
+def _time_observables(cfg, nbytes=65536):
+    cluster = Cluster(n_nodes=2, cfg=cfg)
+    sample = measure_one_way(cluster, nbytes, repeats=3, warmup=1)
+    return (tuple(sample.samples_us), sample.received_payloads_ok,
+            cluster.env.now)
+
+
+def test_flyweight_payloads_time_identical():
+    """Length-only payloads never change the simulated clock."""
+    real = _time_observables(DAWNING_3000)
+    fly = _time_observables(DAWNING_3000.replace(flyweight_payloads=True))
+    assert fly == real
+
+
+def test_flyweight_time_identical_under_faults():
+    """CRC, retransmit and recovery schedules are length-derived too."""
+    def run(cfg):
+        cluster = Cluster(n_nodes=2, cfg=cfg,
+                          fault_plan=FaultPlan(seed=11, drop_rate=0.15))
+        sample = measure_one_way(cluster, 65536, repeats=3, warmup=1)
+        return (tuple(sample.samples_us), sample.received_payloads_ok,
+                cluster.env.now)
+
+    assert run(LOSSY_DAWNING.replace(flyweight_payloads=True)) \
+        == run(LOSSY_DAWNING)
+
+
+def test_dma_burst_coalesce_time_identical():
+    """Coalesced DMA preserves per-burst integer rounding exactly."""
+    real = _time_observables(DAWNING_3000)
+    coalesced = _time_observables(
+        DAWNING_3000.replace(dma_burst_coalesce=True))
+    assert coalesced == real

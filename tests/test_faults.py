@@ -179,7 +179,11 @@ def test_dropped_packets_still_charge_link_occupancy():
     assert link.busy_ns[link.a] == expected
 
 
-def test_duplicate_copies_charge_extra_occupancy():
+def test_duplicate_copies_charge_one_window():
+    """Regression: a duplicated packet is ONE physical wire crossing
+    adjudicated into two deliveries.  The old accounting multiplied the
+    serialization window by the outcome count, overcounting busy_ns
+    (and artificially throttling the pump) versus actual wire time."""
     from repro.hw.link import Link
 
     env = Environment()
@@ -199,7 +203,7 @@ def test_duplicate_copies_charge_extra_occupancy():
     one_window = transfer_time_ns(
         packet.wire_bytes(DAWNING_3000.wire_header_bytes),
         DAWNING_3000.wire_mb_s)
-    assert link.busy_ns[link.a] == 2 * one_window
+    assert link.busy_ns[link.a] == one_window
 
 
 # ------------------------------------------------- end-to-end recovery

@@ -1,0 +1,149 @@
+"""Timeout pooling: explicit ``_recycle`` flag, not a refcount probe.
+
+The previous pool guard compared ``sys.getrefcount(event)`` against a
+magic constant — correct on a bare interpreter, silently never true
+under ``coverage``/``sys.settrace`` (the tracer's frame references
+inflate the count), so covered runs quietly measured a pool hit rate
+of zero.  These tests pin the replacement: pooling works *and* the
+simulation is byte-identical with a trace function installed, which is
+exactly the condition the refcount probe failed.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.instrument.measure import measure_one_way
+from repro.sim import Environment, Interrupt, SimulationError
+
+
+def _sleep_loop(rounds=200):
+    env = Environment()
+
+    def proc():
+        for _ in range(rounds):
+            yield env.sleep(3)
+
+    env.process(proc())
+    env.run()
+    return env
+
+
+def test_sleep_timeouts_are_pooled():
+    env = _sleep_loop()
+    assert env._timeout_pool, "sleep() timeouts should land in the pool"
+    # a serial sleeper ping-pongs between exactly two pooled objects:
+    # the next sleep() is issued from inside the previous timeout's
+    # callback, before that timeout is recycled
+    assert len(env._timeout_pool) == 2
+
+
+def test_pool_hit_rate_under_settrace():
+    """The guard the refcount probe failed: pooling under a tracer."""
+    def tracer(frame, event, arg):
+        return tracer
+
+    old = sys.gettrace()
+    sys.settrace(tracer)
+    try:
+        env = _sleep_loop()
+    finally:
+        sys.settrace(old)
+    assert env._timeout_pool, \
+        "pool must still fill with a trace function installed"
+
+
+def test_parity_under_settrace():
+    """Tracing must not perturb the simulation itself."""
+    def run():
+        cluster = Cluster(n_nodes=2)
+        sample = measure_one_way(cluster, 4096, repeats=3, warmup=1)
+        return (tuple(sample.samples_us), sample.received_payloads_ok,
+                cluster.env.now)
+
+    baseline = run()
+
+    def tracer(frame, event, arg):
+        return tracer
+
+    old = sys.gettrace()
+    sys.settrace(tracer)
+    try:
+        traced = run()
+    finally:
+        sys.settrace(old)
+    assert traced == baseline
+
+
+def test_timeout_is_never_recycled():
+    """Public ``timeout()`` events may be retained by callers; only
+    fire-and-forget ``sleep()`` timeouts are pool-eligible."""
+    env = Environment()
+    retained = []
+
+    def proc():
+        for _ in range(10):
+            t = env.timeout(5)
+            retained.append(t)
+            yield t
+
+    env.process(proc())
+    env.run()
+    assert not env._timeout_pool
+    assert all(t.ok for t in retained)
+    # values survive: nothing reset these events behind the caller
+    assert len({id(t) for t in retained}) == 10
+
+
+def test_interrupted_sleep_not_recycled():
+    """An interrupt strips the victim's callback and re-schedules the
+    process; the orphaned timeout must not re-enter the pool while the
+    interrupted process might still hold it."""
+    env = Environment()
+    seen = []
+
+    def sleeper():
+        try:
+            yield env.sleep(1000)
+        except Interrupt as exc:
+            seen.append(exc.cause)
+            yield env.sleep(1)
+
+    proc = env.process(sleeper())
+
+    def interrupter():
+        yield env.sleep(5)
+        proc.interrupt("wake")
+
+    env.process(interrupter())
+    env.run()
+    assert seen == ["wake"]
+    # the interrupted timeout fired with no callbacks -> not pooled;
+    # the post-interrupt sleep(1) is the only pool entry
+    assert len(env._timeout_pool) <= 1
+
+
+def test_pooled_sleep_values_reset():
+    """A recycled timeout must not leak the previous value/state."""
+    env = Environment()
+    values = []
+
+    def proc():
+        for i in range(5):
+            values.append((yield env.sleep(2)))
+
+    env.process(proc())
+    env.run()
+    assert values == [None] * 5
+
+
+def test_sleep_rejects_negative_delay():
+    env = _sleep_loop(rounds=1)
+    assert env._timeout_pool          # exercise the pooled branch too
+    with pytest.raises(SimulationError):
+        env.sleep(-1)
+    with pytest.raises(SimulationError):
+        Environment().sleep(-1)
