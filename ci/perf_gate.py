@@ -1,8 +1,11 @@
 #!/usr/bin/env python
 """Performance-trajectory gate for the BENCH_*.json artifacts.
 
-Compares a fresh ``BENCH_engine.json`` against the committed baseline
-under ``benchmarks/perf/baseline/`` and fails (exit 1) when:
+Dispatches on the artifact's ``suite`` field.
+
+**engine** — compares a fresh ``BENCH_engine.json`` against the
+committed baseline under ``benchmarks/perf/baseline/`` and fails
+(exit 1) when:
 
 * any scenario's ``events_per_sec`` drops more than ``--tolerance``
   (default 20 %) below the baseline, or
@@ -17,10 +20,26 @@ the CI baseline would be noise).  The ratio check is within-run — both
 schedulers execute on the same interpreter seconds apart — and is
 enforced unconditionally.
 
+**scale** — gates ``BENCH_scale.json`` (host vs NIC collectives on
+thousand-rank fabrics) on *simulated* numbers, which are deterministic
+and therefore machine-independent:
+
+* every barrier point at >= 64 ranks with both policies present must
+  show NIC latency at least ``--nic-advantage`` (default 1.5x) below
+  the host dissemination barrier;
+* NIC barrier growth must stay logarithmic-ish: each 4x rank step may
+  grow latency at most ``--growth-ceiling`` (default 2.0x; linear
+  growth would be 4x);
+* any point also present in the baseline must reproduce its
+  ``latency_us`` exactly — a drifted simulated latency means the
+  default-path behaviour changed, which is a parity break, not noise.
+
 Usage::
 
     python ci/perf_gate.py BENCH_engine.json [--baseline PATH]
         [--tolerance 0.20] [--ratio-floor 2.0]
+    python ci/perf_gate.py BENCH_scale.json [--baseline PATH]
+        [--nic-advantage 1.5] [--growth-ceiling 2.0]
 """
 
 from __future__ import annotations
@@ -31,8 +50,8 @@ import os
 import sys
 
 ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-DEFAULT_BASELINE = os.path.join(
-    ROOT, "benchmarks", "perf", "baseline", "BENCH_engine.json")
+BASELINE_DIR = os.path.join(ROOT, "benchmarks", "perf", "baseline")
+DEFAULT_BASELINE = os.path.join(BASELINE_DIR, "BENCH_engine.json")
 
 
 def load(path: str) -> dict:
@@ -44,20 +63,108 @@ def load(path: str) -> dict:
     return doc
 
 
+def _gate_scale(fresh: dict, base: dict, args,
+                failures: list[str]) -> None:
+    """Simulated-latency checks for the scale suite (deterministic,
+    so enforced regardless of platform)."""
+    points = {(r["op"], r["topology"], r["n_ranks"], r["collectives"]): r
+              for r in fresh["results"] if "latency_us" in r}
+
+    # 1. NIC advantage at every >=64-rank barrier pair.
+    pairs = sorted({(op, topo, n) for op, topo, n, _ in points
+                    if op == "barrier"})
+    compared = 0
+    for op, topo, n in pairs:
+        host = points.get((op, topo, n, "host"))
+        nic = points.get((op, topo, n, "nic"))
+        if host is None or nic is None:
+            continue
+        ratio = (host["latency_us"] / nic["latency_us"]
+                 if nic["latency_us"] else float("inf"))
+        line = (f"{op}/{topo}/{n}: host {host['latency_us']:.2f} us / "
+                f"nic {nic['latency_us']:.2f} us = {ratio:.2f}x")
+        if n >= 64:
+            compared += 1
+            if ratio < args.nic_advantage:
+                failures.append(
+                    f"NIC advantage {line} below the "
+                    f"{args.nic_advantage:.2f}x floor")
+            else:
+                print(f"ok: {line}")
+        else:
+            print(f"note: {line} (below the 64-rank gate threshold)")
+    if not compared:
+        failures.append("no >=64-rank barrier host/nic pair to gate on")
+
+    # 2. NIC barrier growth per 4x rank step stays logarithmic-ish.
+    for topo in sorted({t for op, t, n, c in points if op == "barrier"
+                        and c == "nic"}):
+        sizes = sorted(n for op, t, n, c in points
+                       if (op, t, c) == ("barrier", topo, "nic"))
+        for small, big in zip(sizes, sizes[1:]):
+            lo = points[("barrier", topo, small, "nic")]["latency_us"]
+            hi = points[("barrier", topo, big, "nic")]["latency_us"]
+            growth = hi / lo if lo else float("inf")
+            line = (f"nic barrier {topo} {small}->{big} ranks: "
+                    f"{growth:.2f}x latency growth")
+            if growth > args.growth_ceiling:
+                failures.append(f"{line} exceeds the "
+                                f"{args.growth_ceiling:.2f}x ceiling")
+            else:
+                print(f"ok: {line}")
+
+    # 3. Deterministic reproduction of the committed baseline.
+    base_points = {r["name"]: r for r in base["results"]
+                   if "latency_us" in r}
+    for result in fresh["results"]:
+        ref = base_points.get(result.get("name"))
+        if ref is None:
+            continue
+        got, want = result["latency_us"], ref["latency_us"]
+        if got != want:
+            failures.append(
+                f"simulated latency drift in {result['name']}: "
+                f"{got} us vs committed {want} us — the default path "
+                "changed; regenerate BENCH_scale.json deliberately")
+        else:
+            print(f"ok: {result['name']}: {got} us == baseline")
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("fresh", help="freshly produced BENCH_engine.json")
-    parser.add_argument("--baseline", default=DEFAULT_BASELINE,
-                        help="committed baseline to compare against")
+    parser.add_argument("fresh", help="freshly produced BENCH_*.json")
+    parser.add_argument("--baseline", default=None,
+                        help="committed baseline to compare against "
+                             "(default: the same-named artifact under "
+                             f"{BASELINE_DIR})")
     parser.add_argument("--tolerance", type=float, default=0.20,
                         help="allowed fractional events/sec drop")
     parser.add_argument("--ratio-floor", type=float, default=2.0,
                         help="minimum calendar/heap ratio for 'churn'")
+    parser.add_argument("--nic-advantage", type=float, default=1.5,
+                        help="minimum host/nic barrier latency ratio "
+                             "at >=64 ranks (scale suite)")
+    parser.add_argument("--growth-ceiling", type=float, default=2.0,
+                        help="maximum NIC barrier latency growth per "
+                             "4x rank step (scale suite)")
     args = parser.parse_args(argv)
 
     fresh = load(args.fresh)
+    if args.baseline is None:
+        name = {"scale": "BENCH_scale.json"}.get(fresh["suite"],
+                                                 "BENCH_engine.json")
+        args.baseline = os.path.join(BASELINE_DIR, name)
     base = load(args.baseline)
     failures: list[str] = []
+
+    if fresh["suite"] == "scale":
+        _gate_scale(fresh, base, args, failures)
+        if failures:
+            for failure in failures:
+                print(f"FAIL: {failure}", file=sys.stderr)
+            return 1
+        print("perf gate passed")
+        return 0
 
     churn = fresh.get("calendar_vs_heap", {}).get("churn")
     if churn is None:

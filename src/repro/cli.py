@@ -21,6 +21,9 @@ Commands:
   message-lifecycle view: latency percentiles, the per-stage
   critical-path breakdown (Figure 7 per message), the top-K slowest
   messages, per-message drill-downs and a metrics dump
+* ``scale``      — host vs NIC collectives (and congestion scenarios)
+  on a chosen fabric at a chosen rank count: one scale-sweep point,
+  with the critical-path stage table
 """
 
 from __future__ import annotations
@@ -157,6 +160,24 @@ def build_parser() -> argparse.ArgumentParser:
     ob.add_argument("--spans-out", metavar="FILE", default=None,
                     help="write the span trees as flow-linked "
                          "chrome://tracing JSON")
+
+    sc = sub.add_parser("scale",
+                        help="one scale-sweep point: host vs NIC "
+                             "collective latency on a fabric, with "
+                             "the critical-path stage table")
+    sc.add_argument("--ranks", type=int, default=64,
+                    help="rank count == node count (default 64)")
+    sc.add_argument("--topology", default="fat_tree",
+                    choices=["single_switch", "switch_tree", "mesh2d",
+                             "fat_tree"])
+    sc.add_argument("--op", default="barrier",
+                    choices=["barrier", "allreduce"])
+    sc.add_argument("--collectives", default=None,
+                    choices=["host", "nic"],
+                    help="run only one policy (default: both + speedup)")
+    sc.add_argument("--congestion", action="append", metavar="SCENARIO",
+                    choices=["incast", "hotspot", "permutation"],
+                    help="also run a congestion scenario (repeatable)")
     return parser
 
 
@@ -505,6 +526,38 @@ def _cmd_observe(args) -> int:
     return 0
 
 
+def _cmd_scale(args) -> int:
+    from repro.experiments.scale import (measure_congestion_point,
+                                         measure_scale_point)
+
+    policies = [args.collectives] if args.collectives else ["host", "nic"]
+    points = {}
+    for policy in policies:
+        p = measure_scale_point(n_ranks=args.ranks,
+                                topology=args.topology,
+                                collectives=policy, op=args.op)
+        points[policy] = p
+        print(f"{args.op} x {args.ranks} ranks on {args.topology} "
+              f"({policy}): {p['latency_us']:.2f} us "
+              f"[{p['events']:,} events]")
+        for stage, us in p["stage_table"][:6]:
+            marker = "  <- bounding" if stage == p["bounding_stage"] \
+                else ""
+            print(f"  {stage:<14s} {us:10.2f} us{marker}")
+    if len(points) == 2 and points["nic"]["latency_us"]:
+        speedup = (points["host"]["latency_us"]
+                   / points["nic"]["latency_us"])
+        print(f"NIC offload speedup: {speedup:.2f}x")
+    for scenario in args.congestion or ():
+        p = measure_congestion_point(n_ranks=args.ranks,
+                                     topology=args.topology,
+                                     scenario=scenario)
+        print(f"{scenario} x {args.ranks} ranks on {args.topology}: "
+              f"{p['elapsed_us']:.2f} us, {p['bandwidth_mb_s']:.1f} MB/s "
+              f"aggregate, tail spread {p['tail_spread_us']:.2f} us")
+    return 0
+
+
 _COMMANDS = {
     "evaluate": _cmd_evaluate,
     "latency": _cmd_latency,
@@ -516,6 +569,7 @@ _COMMANDS = {
     "audit": _cmd_audit,
     "fuzz": _cmd_fuzz,
     "observe": _cmd_observe,
+    "scale": _cmd_scale,
 }
 
 

@@ -148,6 +148,28 @@ class CostModel:
     shm_chunk_bytes: int = 8192       # pipelining granularity
     shm_ring_slots: int = 16
 
+    # ------------------------------------------------------------- fabric
+    #: fat-tree arity override (even, >= 2).  0 = auto: the smallest
+    #: even k whose 3-level Clos capacity k^3/4 holds ``n_nodes`` hosts.
+    fat_tree_k: int = 0
+    #: seed mixed into the deterministic ECMP hash that picks among
+    #: equal-cost fat-tree uplinks; same seed => same routes, always
+    ecmp_seed: int = 1
+    #: validate every precomputed source route against switch radix and
+    #: physical connectivity at build_network time (fail fast instead of
+    #: silently dropping packets at forwarding time)
+    strict_routes: bool = True
+
+    # ------------------------------------------- NIC-offloaded collectives
+    #: fan-in/fan-out arity of the NIC collective tree over nodes
+    coll_fanout: int = 4
+    #: MCP processing per collective packet handled in firmware (fan-in
+    #: combine / fan-out replicate step; LANai-resident, no host trap)
+    mcp_coll_proc_us: float = 1.20
+    #: largest payload the firmware reduces/broadcasts NIC-side; bigger
+    #: collectives fall back to the host algorithms (LANai SRAM budget)
+    nic_coll_max_bytes: int = 4096
+
     # ------------------------------------------------------- engine tuning
     #: Carry length-only flyweight payloads instead of real bytes.  All
     #: virtual timing derives from payload *lengths* (wire occupancy,
@@ -213,6 +235,10 @@ class CostModel:
             raise ValueError("mtu must exceed the wire header size")
         if self.page_size & (self.page_size - 1):
             raise ValueError("page_size must be a power of two")
+        if self.fat_tree_k and (self.fat_tree_k < 2 or self.fat_tree_k % 2):
+            raise ValueError("fat_tree_k must be an even value >= 2 (or 0)")
+        if self.coll_fanout < 2:
+            raise ValueError("coll_fanout must be >= 2")
 
 
 def dawning_3000() -> CostModel:

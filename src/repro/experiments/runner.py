@@ -31,7 +31,7 @@ from typing import Any, Callable, Optional, Sequence
 from repro.baselines.models import table2_presets
 from repro.config import DAWNING_3000, CostModel
 from repro.experiments import ablations, curves, extensions, overheads, \
-    resilience, table1, table2, table3, timelines
+    resilience, scale, table1, table2, table3, timelines
 from repro.experiments.cache import RunCache, default_cache_dir
 from repro.experiments.common import ExperimentResult, result_from_payload, \
     result_to_payload
@@ -104,6 +104,8 @@ CELL_FNS: dict[str, Callable] = {
     "ablations.nack": ablations.nack_transfer_us,
     "extensions.run": _extension_cell,
     "resilience.point": resilience.measure_resilience_point,
+    "scale.point": scale.measure_scale_point,
+    "scale.congestion": scale.measure_congestion_point,
 }
 
 
@@ -182,6 +184,21 @@ EXPERIMENTS: tuple = (
                   "send_window", "dnet", "collective_scaling",
                   "allreduce_algorithms")
 ) + (
+    # Scale-out sweep (env-overridable axes; bench_scale.py drives the
+    # same cells out to 1024 ranks for BENCH_scale.json).
+    Experiment("ext-scale", "extension",
+               lambda cfg: [_cell("scale.point", n_ranks=n, topology=t,
+                                  collectives=c, op=op)
+                            for t in scale.scale_topologies()
+                            for op in scale.SCALE_OPS
+                            for n in scale.scale_ranks()
+                            for c in ("host", "nic")]
+                           + [_cell("scale.congestion", n_ranks=16,
+                                    topology=t, scenario=s)
+                              for t in scale.scale_topologies()
+                              for s in ("incast", "hotspot",
+                                        "permutation")],
+               scale.merge_scale),
     # Loss-rate x size sweep; the plan re-reads the (env-overridable)
     # sweep axes at call time so smoke runs can shrink it.
     Experiment("resilience", "extension",

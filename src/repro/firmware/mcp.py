@@ -36,6 +36,7 @@ from repro.firmware.packet import (
     PacketType,
     fragment_offsets,
 )
+from repro.firmware.collectives import NicCollectives
 from repro.firmware.reliability import GoBackNReceiver, GoBackNSender
 from repro.firmware.tlb import NicTlb
 from repro.hw.nic import LandingZone, Nic, NicPortState
@@ -45,7 +46,9 @@ from repro.sim.time import transfer_time_ns
 __all__ = ["Mcp", "slice_segments"]
 
 #: packet types that carry a reliability sequence number
-SEQUENCED = (PacketType.DATA, PacketType.RMA_READ_REQ, PacketType.RMA_READ_RESP)
+SEQUENCED = (PacketType.DATA, PacketType.RMA_READ_REQ,
+             PacketType.RMA_READ_RESP, PacketType.COLL_UP,
+             PacketType.COLL_DOWN)
 
 
 def slice_segments(segments: list[tuple[int, int]], offset: int,
@@ -107,6 +110,9 @@ class Mcp:
         #: optional repro.audit.Auditor (registered on the environment
         #: before cluster construction); flows self-register with it
         self.audit = getattr(env, "_audit", None)
+        #: NIC-offloaded collective engine (inert until a job registers
+        #: a fan-in/fan-out tree group on it)
+        self.coll = NicCollectives(self)
         nic.attach_mcp(self)
         env.process(self._send_engine(), name=f"{self.name}.send")
         env.process(self._inject_engine(), name=f"{self.name}.inject")
@@ -141,6 +147,7 @@ class Mcp:
                 name, lambda a=attr: getattr(self, a),
                 kind="counter", nic=nic)
         ReliabilityCounters.register_mcp(registry, self, nic=nic)
+        self.coll.register_metrics(registry)
 
     def sender_flow(self, dst_nic: int) -> GoBackNSender:
         if dst_nic not in self._senders:
@@ -380,6 +387,11 @@ class Mcp:
 
     # ---------------------------------------------------------- dispatch
     def _dispatch(self, packet: Packet) -> Generator:
+        if packet.ptype in (PacketType.COLL_UP, PacketType.COLL_DOWN):
+            # NIC-offloaded collectives: consumed entirely in firmware,
+            # no BCL port involved.
+            yield from self.coll.on_packet(packet)
+            return
         port = self.nic.ports.get(packet.dst_port)
         if packet.ptype is PacketType.RMA_READ_RESP:
             yield from self._land_rma_read(packet)

@@ -81,6 +81,11 @@ class PacketType(enum.Enum):
     NACK = "nack"
     RMA_READ_REQ = "rma_read_req"
     RMA_READ_RESP = "rma_read_resp"
+    #: NIC-offloaded collectives: fan-in contribution toward the tree
+    #: root and fan-out release/result toward the leaves.  Both ride the
+    #: go-back-N reliable channel like DATA.
+    COLL_UP = "coll_up"
+    COLL_DOWN = "coll_down"
 
 
 class ChannelKind(enum.Enum):
@@ -102,7 +107,8 @@ def compute_crc(payload) -> int:
 
 #: packet types that carry payload and a reliability sequence number
 SEQUENCED_TYPES = frozenset({PacketType.DATA, PacketType.RMA_READ_REQ,
-                             PacketType.RMA_READ_RESP})
+                             PacketType.RMA_READ_RESP, PacketType.COLL_UP,
+                             PacketType.COLL_DOWN})
 
 
 @dataclass
@@ -127,6 +133,9 @@ class Packet:
     rma_offset: int = 0          # for RMA ops: offset within bound buffer
     rma_length: int = 0
     rma_token: int = 0           # matches an RMA response to its request
+    coll_group: int = 0          # COLL_*: NIC collective group id
+    coll_seq: int = 0            # COLL_*: collective sequence in the group
+    coll_op: str = ""            # COLL_*: "barrier" | "bcast" | "sum:<dtype>"
     packet_id: int = field(default_factory=lambda: next(_packet_ids))
     corrupted: bool = False      # set by fault injection on a link
 

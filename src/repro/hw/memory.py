@@ -11,6 +11,7 @@ them.
 
 from __future__ import annotations
 
+import heapq
 from typing import Iterable
 
 __all__ = ["PhysicalMemory", "FrameAllocator", "OutOfMemoryError"]
@@ -21,7 +22,14 @@ class OutOfMemoryError(MemoryError):
 
 
 class PhysicalMemory:
-    """Byte-addressable physical memory backed by one ``bytearray``."""
+    """Byte-addressable physical memory, materialized page by page.
+
+    Pages spring into existence on first write; untouched pages read as
+    zeros — byte-identical to a flat zero-filled store, but a
+    thousand-node cluster no longer commits ``n_nodes * size`` of host
+    RAM up front (64 nodes of the former flat 64 MB bytearrays already
+    cost seconds of zeroing and gigabytes of residency).
+    """
 
     def __init__(self, size: int, page_size: int = 4096):
         if size <= 0 or size % page_size:
@@ -30,15 +38,45 @@ class PhysicalMemory:
                 f"page size {page_size}")
         self.size = size
         self.page_size = page_size
-        self._data = bytearray(size)
+        self._pages: dict[int, bytearray] = {}
+
+    def _page(self, index: int) -> bytearray:
+        page = self._pages.get(index)
+        if page is None:
+            page = self._pages[index] = bytearray(self.page_size)
+        return page
 
     def read(self, paddr: int, length: int) -> bytes:
         self._check(paddr, length)
-        return bytes(self._data[paddr:paddr + length])
+        ps = self.page_size
+        if length and paddr // ps == (paddr + length - 1) // ps:
+            # Fast path: within one page.
+            page = self._pages.get(paddr // ps)
+            if page is None:
+                return bytes(length)
+            offset = paddr % ps
+            return bytes(page[offset:offset + length])
+        out = bytearray(length)
+        pos = 0
+        while pos < length:
+            index, offset = divmod(paddr + pos, ps)
+            take = min(ps - offset, length - pos)
+            page = self._pages.get(index)
+            if page is not None:
+                out[pos:pos + take] = page[offset:offset + take]
+            pos += take
+        return bytes(out)
 
     def write(self, paddr: int, data: bytes) -> None:
         self._check(paddr, len(data))
-        self._data[paddr:paddr + len(data)] = data
+        ps = self.page_size
+        length = len(data)
+        pos = 0
+        while pos < length:
+            index, offset = divmod(paddr + pos, ps)
+            take = min(ps - offset, length - pos)
+            self._page(index)[offset:offset + take] = data[pos:pos + take]
+            pos += take
 
     def read_gather(self, segments: Iterable[tuple[int, int]]) -> bytes:
         """Read a physical scatter/gather list into one buffer."""
@@ -74,38 +112,44 @@ class FrameAllocator:
         self.memory = memory
         self.page_size = memory.page_size
         self.n_frames = memory.size // memory.page_size
-        self._free: list[int] = list(range(self.n_frames - 1, -1, -1))
+        # Never-allocated frames live behind a bump pointer; freed ones
+        # in a min-heap.  alloc() always returns the lowest free frame
+        # (layouts reproducible across runs), exactly like the former
+        # pre-built descending free list, without O(n_frames) setup.
+        self._next_fresh = 0
+        self._recycled: list[int] = []
         self._allocated: set[int] = set()
 
     @property
     def free_frames(self) -> int:
-        return len(self._free)
+        return self.n_frames - len(self._allocated)
 
     def alloc(self) -> int:
-        """Allocate one frame; returns the frame number."""
-        if not self._free:
+        """Allocate one frame (the lowest free); returns its number."""
+        if self._recycled:
+            frame = heapq.heappop(self._recycled)
+        elif self._next_fresh < self.n_frames:
+            frame = self._next_fresh
+            self._next_fresh += 1
+        else:
             raise OutOfMemoryError(
                 f"all {self.n_frames} page frames are allocated")
-        frame = self._free.pop()
         self._allocated.add(frame)
         return frame
 
     def alloc_many(self, count: int) -> list[int]:
         if count < 0:
             raise ValueError(f"count must be non-negative, got {count}")
-        if count > len(self._free):
+        if count > self.free_frames:
             raise OutOfMemoryError(
-                f"requested {count} frames, only {len(self._free)} free")
+                f"requested {count} frames, only {self.free_frames} free")
         return [self.alloc() for _ in range(count)]
 
     def free(self, frame: int) -> None:
         if frame not in self._allocated:
             raise ValueError(f"frame {frame} is not allocated")
         self._allocated.remove(frame)
-        self._free.append(frame)
-        # Keep the free list sorted descending so .pop() returns the
-        # lowest frame; makes layouts reproducible across runs.
-        self._free.sort(reverse=True)
+        heapq.heappush(self._recycled, frame)
 
     def frame_paddr(self, frame: int) -> int:
         if not 0 <= frame < self.n_frames:

@@ -15,11 +15,23 @@ Topologies:
   root switch, like a small DAWNING Myrinet installation.
 * ``mesh2d`` — a 2-D grid of 5-port routing chips (N/S/E/W/host) with
   XY dimension-order routing, standing in for the nwrc mesh.
+* ``fat_tree`` — a k-ary 3-level Clos (k pods of k/2 edge + k/2
+  aggregation switches, (k/2)^2 cores; up to k^3/4 hosts) with
+  source-routed up/down paths and deterministic-seeded ECMP selection
+  among the equal-cost uplinks.  The scale-out fabric: thousand-rank
+  clusters at 16-port radix.
+
+Every route is validated against switch radix and physical
+connectivity at build time (``cfg.strict_routes``), so a topology
+builder emitting an out-of-radix or dead port fails fast instead of
+silently dropping packets at forwarding time.
 """
 
 from __future__ import annotations
 
 import math
+import struct
+import zlib
 from typing import Callable, Optional
 
 import networkx as nx
@@ -50,6 +62,15 @@ class Network:
         self.nic_endpoints: dict[int, LinkEndpoint] = {}
         self._routes: dict[tuple[int, int], tuple[int, ...]] = {}
         self.graph = nx.Graph()
+        #: physical wiring: (switch name, port) -> ("sw", name) | ("host", n)
+        self.port_map: dict[tuple[str, int], tuple] = {}
+        #: node id -> (switch name, port) its NIC link lands on
+        self.host_attach: dict[int, tuple[str, int]] = {}
+        #: switch name -> tree level (fat_tree: 0=edge 1=agg 2=core)
+        self.switch_level: dict[str, int] = {}
+        #: topology parameters (fat_tree: k, pods, ...)
+        self.meta: dict = {}
+        self._switch_by_name: dict[str, Switch] = {}
 
     def register_metrics(self, registry) -> None:
         """Register every link's and switch's tallies (observation only)."""
@@ -78,6 +99,57 @@ class Network:
         """Number of switches on the path."""
         return len(self.route(src, dst))
 
+    def walk_route(self, src: int, dst: int) -> list[tuple[str, int]]:
+        """The (switch name, output port) sequence a packet traverses.
+
+        Raises :class:`ValueError` if the route leaves the wired fabric
+        at any hop or does not terminate at ``dst``'s host port — the
+        strict-mode check behind :meth:`validate_routes`.
+        """
+        route = self.route(src, dst)
+        here = self.host_attach.get(src)
+        if here is None:
+            raise ValueError(f"node {src} is not attached to the fabric")
+        sw_name = here[0]
+        steps: list[tuple[str, int]] = []
+        for hop, port in enumerate(route):
+            sw = self._switch_by_name[sw_name]
+            if not 0 <= port < sw.n_ports:
+                raise ValueError(
+                    f"route {src}->{dst} hop {hop}: port {port} is outside "
+                    f"{sw_name}'s radix {sw.n_ports}")
+            target = self.port_map.get((sw_name, port))
+            if target is None:
+                raise ValueError(
+                    f"route {src}->{dst} hop {hop}: {sw_name} port {port} "
+                    f"is not wired")
+            steps.append((sw_name, port))
+            if target[0] == "host":
+                if hop != len(route) - 1 or target[1] != dst:
+                    raise ValueError(
+                        f"route {src}->{dst} hop {hop}: ejects at host "
+                        f"{target[1]} with {len(route) - 1 - hop} port(s) "
+                        f"left")
+                return steps
+            sw_name = target[1]
+        raise ValueError(
+            f"route {src}->{dst} ends at switch {sw_name}, not at node "
+            f"{dst}'s host port")
+
+    def validate_routes(self) -> None:
+        """Walk every precomputed route through the wired fabric.
+
+        Checks, for each ordered ``(src, dst)`` pair: every port index
+        is within the radix of the switch it is consumed at, every hop
+        lands on a physically connected link, and the final hop ejects
+        at ``dst``'s host port.  Raises :class:`ValueError` naming the
+        first offending route — topology-builder bugs fail at
+        :func:`build_network` time instead of as silent
+        ``Switch.route_errors`` drops.
+        """
+        for src, dst in self._routes:
+            self.walk_route(src, dst)
+
     # -- construction helpers (used by build_network) -------------------
     def _add_link(self, name: str,
                   fault_injector: Optional[FaultInjector] = None) -> Link:
@@ -85,9 +157,11 @@ class Network:
         self.links.append(link)
         return link
 
-    def _add_switch(self, name: str, n_ports: int) -> Switch:
+    def _add_switch(self, name: str, n_ports: int, level: int = 0) -> Switch:
         sw = Switch(self.env, self.cfg, name, n_ports)
         self.switches.append(sw)
+        self._switch_by_name[name] = sw
+        self.switch_level[name] = level
         return sw
 
     def _compute_routes_from_graph(
@@ -133,8 +207,12 @@ def build_network(env: Environment, cfg: CostModel, n_nodes: int,
         _build_switch_tree(net, fault_injector)
     elif topology == "mesh2d":
         _build_mesh2d(net, fault_injector)
+    elif topology == "fat_tree":
+        _build_fat_tree(net, fault_injector)
     else:
         raise ValueError(f"unknown topology {topology!r}")
+    if cfg.strict_routes:
+        net.validate_routes()
     return net
 
 
@@ -144,6 +222,8 @@ def _host_link(net: Network, node: int, sw: Switch, port: int,
     net.nic_endpoints[node] = link.a
     sw.connect(port, link.b)
     net.graph.add_edge(("host", node), ("sw", sw.name))
+    net.port_map[(sw.name, port)] = ("host", node)
+    net.host_attach[node] = (sw.name, port)
 
 
 def _switch_link(net: Network, sw_a: Switch, port_a: int, sw_b: Switch,
@@ -156,6 +236,8 @@ def _switch_link(net: Network, sw_a: Switch, port_a: int, sw_b: Switch,
     net.graph.add_edge(("sw", sw_a.name), ("sw", sw_b.name))
     port_of[("sw", sw_a.name)][("sw", sw_b.name)] = port_a
     port_of[("sw", sw_b.name)][("sw", sw_a.name)] = port_b
+    net.port_map[(sw_a.name, port_a)] = ("sw", sw_b.name)
+    net.port_map[(sw_b.name, port_b)] = ("sw", sw_a.name)
 
 
 def _build_single_switch(net: Network,
@@ -171,17 +253,27 @@ def _build_single_switch(net: Network,
 
 def _build_switch_tree(net: Network,
                        fault_injector: Optional[FaultInjector]) -> None:
-    """8-port leaves (7 hosts + uplink on port 7) under one root."""
+    """8-port leaves (7 hosts + uplink on port 7) under one root.
+
+    With a single leaf (``n_nodes <= 7``) the root and its uplink would
+    carry no routes — a dead switch polluting ``switches``/``links``
+    (and every per-switch telemetry callback), so the degenerate tree
+    collapses to just the leaf crossbar.
+    """
     n = net.n_nodes
     hosts_per_leaf = 7
     n_leaves = max(1, math.ceil(n / hosts_per_leaf))
-    root = net._add_switch("root", n_ports=max(2, n_leaves))
-    port_of: dict = {("sw", "root"): {}}
+    port_of: dict = {}
+    root = None
+    if n_leaves > 1:
+        root = net._add_switch("root", n_ports=max(2, n_leaves), level=1)
+        port_of[("sw", "root")] = {}
     for leaf_idx in range(n_leaves):
         leaf = net._add_switch(f"leaf{leaf_idx}", n_ports=8)
         port_of[("sw", leaf.name)] = {}
-        _switch_link(net, leaf, hosts_per_leaf, root, leaf_idx,
-                     fault_injector, port_of)
+        if root is not None:
+            _switch_link(net, leaf, hosts_per_leaf, root, leaf_idx,
+                         fault_injector, port_of)
         for local in range(hosts_per_leaf):
             node = leaf_idx * hosts_per_leaf + local
             if node >= n:
@@ -237,3 +329,124 @@ def _build_mesh2d(net: Network,
                 r += 1 if r1 > r else -1
             ports.append(H_)        # eject to the host port
             net._routes[(src, dst)] = tuple(ports)
+
+
+def _fat_tree_k(n: int, override: int) -> int:
+    """The Clos arity: override, or the smallest even k with k^3/4 >= n."""
+    if override:
+        if override ** 3 // 4 < n:
+            raise ValueError(
+                f"fat_tree_k={override} holds {override ** 3 // 4} hosts, "
+                f"need {n}")
+        return override
+    k = 2
+    while k ** 3 // 4 < n:
+        k += 2
+    return k
+
+
+def _ecmp_pick(src: int, dst: int, seed: int, n_choices: int) -> int:
+    """Deterministic ECMP: a stable per-flow hash over (src, dst, seed).
+
+    CRC32 rather than Python ``hash()`` so the selection is identical
+    across interpreter runs and worker processes (PYTHONHASHSEED-proof),
+    which the cache-keyed experiment runner and the parity guards rely
+    on.
+    """
+    digest = zlib.crc32(struct.pack("<qqq", src, dst, seed))
+    return digest % n_choices
+
+
+def _build_fat_tree(net: Network,
+                    fault_injector: Optional[FaultInjector]) -> None:
+    """k-ary 3-level Clos with source-routed up/down paths + ECMP.
+
+    Port conventions (all switches have radix k):
+
+    * edge  — ports ``0..k/2-1`` face hosts; port ``k/2 + i`` goes up to
+      the pod's aggregation switch ``i``;
+    * agg   — port ``e`` goes down to edge ``e``; port ``k/2 + j`` goes
+      up to core ``(i, j)`` where ``i`` is the agg's own index;
+    * core ``(i, j)`` — port ``p`` goes down to pod ``p``'s agg ``i``.
+
+    Hosts fill pods in order; only occupied pods (and only occupied
+    edges within them) are instantiated, and the core layer is omitted
+    when a single pod holds every host — the same dead-switch collapse
+    the switch_tree builder applies.  Routes go up to a deterministic
+    ECMP-chosen common ancestor, then down: the up*/down* structure is
+    what makes fat-tree source routing deadlock-free.
+    """
+    n = net.n_nodes
+    cfg = net.cfg
+    k = _fat_tree_k(n, cfg.fat_tree_k)
+    half = k // 2
+    pod_cap = half * half            # hosts per pod
+    n_pods = math.ceil(n / pod_cap)
+    net.meta.update(k=k, half=half, n_pods=n_pods, pod_capacity=pod_cap)
+
+    def host_coords(node: int) -> tuple[int, int, int]:
+        pod, m = divmod(node, pod_cap)
+        edge, port = divmod(m, half)
+        return pod, edge, port
+
+    port_of: dict = {}
+    edges: dict[tuple[int, int], Switch] = {}
+    aggs: dict[tuple[int, int], Switch] = {}
+    cores: dict[tuple[int, int], Switch] = {}
+    # Occupied edges per pod (hosts fill in order, so a contiguous prefix).
+    edges_in_pod = [min(half, math.ceil((n - p * pod_cap) / half))
+                    for p in range(n_pods)]
+    multi_edge = n_pods > 1 or edges_in_pod[0] > 1
+
+    for p in range(n_pods):
+        for e in range(edges_in_pod[p]):
+            sw = net._add_switch(f"ft.p{p}.e{e}", n_ports=k, level=0)
+            edges[(p, e)] = sw
+            port_of[("sw", sw.name)] = {}
+        if multi_edge:
+            for i in range(half):
+                sw = net._add_switch(f"ft.p{p}.a{i}", n_ports=k, level=1)
+                aggs[(p, i)] = sw
+                port_of[("sw", sw.name)] = {}
+    if n_pods > 1:
+        for i in range(half):
+            for j in range(half):
+                sw = net._add_switch(f"ft.c{i}_{j}", n_ports=k, level=2)
+                cores[(i, j)] = sw
+                port_of[("sw", sw.name)] = {}
+
+    # Wire: edge e's up port half+i <-> agg i's down port e.
+    for (p, e), edge_sw in edges.items():
+        for i in range(half):
+            if (p, i) in aggs:
+                _switch_link(net, edge_sw, half + i, aggs[(p, i)], e,
+                             fault_injector, port_of)
+    # Wire: agg (p, i)'s up port half+j <-> core (i, j)'s port p.
+    for (p, i), agg_sw in aggs.items():
+        for j in range(half):
+            if (i, j) in cores:
+                _switch_link(net, agg_sw, half + j, cores[(i, j)], p,
+                             fault_injector, port_of)
+    for node in range(n):
+        pod, e, h = host_coords(node)
+        _host_link(net, node, edges[(pod, e)], h, fault_injector)
+        port_of[("sw", edges[(pod, e)].name)][("host", node)] = h
+
+    # Source routes: up to the ECMP-chosen common ancestor, then down.
+    seed = cfg.ecmp_seed
+    for src in range(n):
+        s_pod, s_edge, _ = host_coords(src)
+        for dst in range(n):
+            if dst == src:
+                continue
+            d_pod, d_edge, d_port = host_coords(dst)
+            if (s_pod, s_edge) == (d_pod, d_edge):
+                route = (d_port,)
+            elif s_pod == d_pod:
+                a = _ecmp_pick(src, dst, seed, half)
+                route = (half + a, d_edge, d_port)
+            else:
+                choice = _ecmp_pick(src, dst, seed, half * half)
+                a, j = divmod(choice, half)
+                route = (half + a, half + j, d_pod, d_edge, d_port)
+            net._routes[(src, dst)] = route

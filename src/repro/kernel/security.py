@@ -32,8 +32,13 @@ MAX_MESSAGE_BYTES = 1 << 26
 class SecurityValidator:
     """Stateless parameter validation run inside the send/post traps."""
 
-    def __init__(self, n_nodes: int, max_ports: int = 1024,
+    def __init__(self, n_nodes: int, max_ports: int = 1 << 16,
                  max_channels: int = 256):
+        # Ports are a 16-bit field.  The former 1024 cap was an
+        # arbitrary sanity bound that thousand-rank jobs overran: rank
+        # ports start at RANK_PORT_BASE (100), so rank 924 of a
+        # 1024-rank job landed on port 1024 and every send to it was
+        # rejected as "invalid".
         self.n_nodes = n_nodes
         self.max_ports = max_ports
         self.max_channels = max_channels

@@ -58,6 +58,11 @@ _STAGE_GROUP = {
     "poll_send_event": "poll",
     "check_recv_event": "event check",
     "complete_send": "event check",
+    # NIC-offloaded collectives: posting the descriptor is compose
+    # work, reaping the completion is event-check work (the category
+    # of both is "bcl", which would lump them into compose).
+    "coll_post": "compose",
+    "coll_complete": "event check",
     "shm_post": "shm",
     "shm_check": "poll",
 }

@@ -29,11 +29,18 @@ REDUCE_OPS: dict[str, Callable[[np.ndarray, np.ndarray], np.ndarray]] = {
 _TAG_BASE = 1 << 20
 #: tag distance between successive collective calls; internal phase
 #: offsets (per-round, per-rank, per-step, the +64 ring phase shift)
-#: all stay below this stride
+#: all stay below this stride *for small communicators* — for large
+#: ones the stride is derived from ``size`` (see :meth:`_coll_stride`)
 _EPOCH_STRIDE = 4096
 #: epochs wrap after this many calls; tags stay well inside the int32
 #: envelope field
 _EPOCH_SLOTS = 65536
+#: fixed sub-collective offsets (+64 ring allgather shift, +32 bcast,
+#: +16 reduce_scatter) that pairwise/per-rank offsets stack on top of
+_PHASE_HEADROOM = 128
+#: total reserved tag span; constant regardless of the stride so large
+#: communicators wrap sooner instead of growing the envelope
+_TAG_SPAN = _EPOCH_STRIDE * _EPOCH_SLOTS
 
 
 class Collectives:
@@ -54,14 +61,77 @@ class Collectives:
     fixed-offset behaviour.
     """
 
+    #: "host" runs the classical algorithms below over point-to-point
+    #: messaging; "nic" offloads barrier/bcast/allreduce to the MCP
+    #: firmware tree (set by :class:`repro.upper.job.Job` together with
+    #: ``nic_group``/``nic_coll``; everything else stays host-level)
+    collectives_policy: str = "host"
+    nic_group = None          # CollGroup of this endpoint's node
+    nic_coll = None           # NicCollectives engine of the node's MCP
+
+    def _coll_stride(self) -> int:
+        """Tag distance between epochs, derived from the communicator.
+
+        Pairwise alltoall/ring phase offsets grow with ``size`` (n-1
+        steps on top of the +64 ring shift), so a fixed 4096 stride
+        collides for large communicators: one call's phases would bleed
+        into the next epoch's range.  Small communicators keep the
+        legacy 4096 (byte-identical tags); larger ones round
+        ``size + _PHASE_HEADROOM`` up to a power of two.
+        """
+        need = getattr(self, "size", 0) + _PHASE_HEADROOM
+        stride = _EPOCH_STRIDE
+        while stride < need:
+            stride <<= 1
+        return stride
+
     def _next_coll_tag(self) -> int:
         epoch = getattr(self, "_coll_epoch", 0)
         self._coll_epoch = epoch + 1
-        return _TAG_BASE + (epoch % _EPOCH_SLOTS) * _EPOCH_STRIDE
+        stride = self._coll_stride()
+        return _TAG_BASE + (epoch % max(1, _TAG_SPAN // stride)) * stride
+
+    # ------------------------------------------- NIC-offloaded fast path
+    def _use_nic(self, nbytes: int) -> bool:
+        """NIC policy active, tree registered, payload firmware-sized?"""
+        return (self.collectives_policy == "nic"
+                and self.nic_group is not None
+                and self.nic_coll is not None
+                and nbytes <= self.port.cfg.nic_coll_max_bytes)
+
+    def _nic_collective(self, op: str, payload: bytes) -> Generator:
+        """Post one collective descriptor; wait for the firmware event.
+
+        Host cost is one compact descriptor post (compose + kernel trap
+        + a few PIO words) and a completion-queue pickup — no per-peer
+        sends; the fan-in/fan-out happens NIC-side.  Every rank calls
+        collectives in the same SPMD order, so the per-endpoint sequence
+        counters agree across ranks, like the epoch tags do.
+        """
+        cfg = self.port.cfg
+        seq = getattr(self, "_nic_coll_seq", 0)
+        self._nic_coll_seq = seq + 1
+        cpu = self.port.lib.proc.cpu
+        yield from cpu.execute(
+            cfg.compose_us + cfg.trap_enter_us + cfg.security_check_us
+            + cfg.trap_exit_us, category="bcl", stage="coll_post")
+        words = 4 + (len(payload) + 3) // 4
+        yield from cpu.execute(cfg.pio_write_us(words), category="pio",
+                               stage="fill_coll_descriptor", scale=False)
+        done = self.nic_coll.post_local(self.nic_group.group_id, seq, op,
+                                        payload)
+        result = yield done
+        yield from cpu.execute(cfg.recv_poll_us + cfg.event_check_us,
+                               category="bcl", stage="coll_complete")
+        return result
 
     # --------------------------------------------------------------- barrier
     def barrier(self, tag: Optional[int] = None) -> Generator:
-        """Dissemination barrier: ceil(log2(n)) rounds."""
+        """Dissemination barrier: ceil(log2(n)) rounds (or one NIC
+        fan-in/fan-out wave under ``collectives_policy="nic"``)."""
+        if tag is None and self._use_nic(0):
+            yield from self._nic_collective("barrier", b"")
+            return
         if tag is None:
             tag = self._next_coll_tag()
         n = self.size
@@ -81,7 +151,14 @@ class Collectives:
     # ----------------------------------------------------------------- bcast
     def bcast(self, vaddr: int, nbytes: int, root: int = 0,
               tag: Optional[int] = None) -> Generator:
-        """Binomial-tree broadcast."""
+        """Binomial-tree broadcast (or a NIC fan-out wave)."""
+        if tag is None and self._use_nic(nbytes):
+            payload = self.proc.read(vaddr, nbytes) if \
+                self.rank == root and nbytes else b""
+            result = yield from self._nic_collective("bcast", bytes(payload))
+            if self.rank != root and nbytes:
+                self.proc.write(vaddr, result[:nbytes])
+            return
         if tag is None:
             tag = self._next_coll_tag()
         n = self.size
@@ -145,7 +222,19 @@ class Collectives:
         ``algorithm="ring"``: reduce-scatter + allgather rings —
         bandwidth-optimal for large arrays (each rank moves ~2·n/p·(p−1)
         bytes instead of ~2·n·log2 p).
+
+        Under ``collectives_policy="nic"`` (and a firmware-sized array)
+        the reduction happens in the MCP fan-in tree instead; the
+        ``algorithm`` knob only selects among the host algorithms.
         """
+        src = np.asarray(array)
+        if tag is None and op in REDUCE_OPS \
+                and self._use_nic(int(src.nbytes)):
+            contrib = np.ascontiguousarray(array)
+            result = yield from self._nic_collective(
+                f"red:{op}:{contrib.dtype.str}", contrib.tobytes())
+            out = np.frombuffer(result, dtype=contrib.dtype)
+            return out.reshape(src.shape).copy()
         if algorithm == "ring":
             if tag is None:
                 tag = self._next_coll_tag()

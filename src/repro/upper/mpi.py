@@ -29,11 +29,13 @@ class MpiEndpoint(Collectives):
     """One rank's MPI library instance."""
 
     def __init__(self, rank: int, size: int, port: BclPort,
-                 addresses: dict[int, BclAddress]):
+                 addresses: dict[int, BclAddress],
+                 collectives: str = "host"):
         cfg = port.cfg
         self.rank = rank
         self.size = size
         self.port = port
+        self.collectives_policy = collectives
         self.proc = port.lib.proc
         self.eadi = EadiEndpoint(
             rank, port, addresses,

@@ -34,11 +34,13 @@ class PvmTask(Collectives):
     """One PVM task (the task id is the rank)."""
 
     def __init__(self, rank: int, size: int, port: BclPort,
-                 addresses: dict[int, BclAddress]):
+                 addresses: dict[int, BclAddress],
+                 collectives: str = "host"):
         cfg = port.cfg
         self.rank = rank
         self.size = size
         self.port = port
+        self.collectives_policy = collectives
         self.proc = port.lib.proc
         self.cfg = cfg
         self.eadi = EadiEndpoint(

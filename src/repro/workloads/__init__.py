@@ -11,8 +11,18 @@ application kernel per motivating domain:
   request/response service over BCL system channels (Internet service);
 * :func:`~repro.workloads.apps.run_kv_store` — a replicated key-value
   store reading remote partitions via RMA open channels (database).
+
+:mod:`repro.workloads.congestion` adds fabric-scale adversarial
+traffic (incast, hotspot, permutation) for judging topologies under
+load — see the scale-out experiments.
 """
 
+from repro.workloads.congestion import (
+    CongestionResult,
+    run_hotspot,
+    run_incast,
+    run_permutation,
+)
 from repro.workloads.streams import (
     measure_streaming_bandwidth,
     measure_hotspot,
@@ -25,8 +35,12 @@ from repro.workloads.apps import (
 )
 
 __all__ = [
+    "CongestionResult",
     "measure_hotspot",
     "measure_streaming_bandwidth",
+    "run_hotspot",
+    "run_incast",
+    "run_permutation",
     "run_kv_store",
     "run_request_service",
     "run_sample_sort",

@@ -103,6 +103,23 @@ def test_committed_baselines_conform():
     """The baselines the CI gate compares against obey the schema."""
     baseline_dir = ROOT / "benchmarks" / "perf" / "baseline"
     paths = sorted(baseline_dir.glob("BENCH_*.json"))
-    assert len(paths) == 2, "expected engine + experiments baselines"
+    assert [p.name for p in paths] == \
+        ["BENCH_engine.json", "BENCH_experiments.json", "BENCH_scale.json"]
     for path in paths:
         _check_schema(json.loads(path.read_text()))
+
+
+def test_scale_baseline_names_and_bounding_stages():
+    """The scale baseline covers the host/nic grid and every result
+    names its critical-path bounding stage."""
+    doc = json.loads((ROOT / "benchmarks" / "perf" / "baseline" /
+                      "BENCH_scale.json").read_text())
+    assert doc["suite"] == "scale"
+    names = {r["name"] for r in doc["results"]}
+    for topology in ("single_switch", "fat_tree"):
+        for ranks in (16, 64, 256, 1024):
+            for policy in ("host", "nic"):
+                assert f"barrier/{topology}/{ranks}/{policy}" in names
+    for r in doc["results"]:
+        assert r["latency_us"] > 0
+        assert isinstance(r["bounding_stage"], str) and r["bounding_stage"]

@@ -101,3 +101,62 @@ def test_user_traffic_in_reserved_range_does_not_cross_match():
     r0, r1 = run_spmd(cluster, 2, fn)
     assert r0[0] == 7.0 and r1[0] == 7.0   # bcast intact
     assert r1[1] == payload                # user message intact
+
+
+# ---------------------------------------------------- scale disjointness
+# Internal phase offsets grow with communicator size (ring allgather
+# uses tag + 64 + step for step < size-1), so a fixed 4096 stride
+# collides once size + headroom passes it: epoch N's late phases would
+# land inside epoch N+1's range.  The stride is now derived from size.
+
+from hypothesis import given, strategies as st  # noqa: E402
+
+from repro.upper.collectives import _PHASE_HEADROOM, _TAG_SPAN  # noqa: E402
+
+
+def _sized(size):
+    c = _Bare()
+    c.size = size
+    return c
+
+
+def _phase_range(tag, size):
+    """Conservative envelope of every tag a collective call may use."""
+    return tag, tag + _PHASE_HEADROOM + max(size - 2, 0)
+
+
+@given(size=st.integers(min_value=2, max_value=1 << 16),
+       epochs=st.integers(min_value=2, max_value=64))
+def test_epoch_phase_ranges_are_disjoint(size, epochs):
+    c = _sized(size)
+    ranges = sorted(_phase_range(c._next_coll_tag(), size)
+                    for _ in range(epochs))
+    for (lo_a, hi_a), (lo_b, _hi_b) in zip(ranges, ranges[1:]):
+        if lo_a == lo_b:        # epoch counter wrapped onto the same slot
+            continue
+        assert hi_a < lo_b
+    for lo, hi in ranges:
+        assert _TAG_BASE <= lo and hi < _TAG_BASE + _TAG_SPAN
+
+
+def test_thousand_rank_tags_disjoint_across_wrap():
+    """1024 ranks: every slot in the wrapped cycle stays disjoint."""
+    c = _sized(1024)
+    stride = c._coll_stride()
+    assert stride >= 1024 + _PHASE_HEADROOM
+    slots = _TAG_SPAN // stride
+    tags = [c._next_coll_tag() for _ in range(slots + 3)]
+    assert len(set(tags[:slots])) == slots       # full cycle, no repeat
+    assert tags[slots] == tags[0]                # then wraps exactly
+    ranges = sorted(set(_phase_range(t, 1024) for t in tags))
+    for (_, hi_a), (lo_b, _) in zip(ranges, ranges[1:]):
+        assert hi_a < lo_b
+
+
+def test_small_communicators_keep_legacy_stride():
+    """Stride (and so every emitted tag) is unchanged for the sizes the
+    pre-scale tree ever ran — the parity guard depends on this."""
+    for size in (0, 2, 64, 3968):
+        assert _sized(size)._coll_stride() == _EPOCH_STRIDE
+    assert _sized(3969)._coll_stride() == 8192
+    assert _sized(8192)._coll_stride() == 16384
