@@ -11,6 +11,11 @@ Three scenarios stress different cost centres of the event core:
   every instant wakes a crowd (generator resume cost included).
 * ``cascade`` — immediate-event chains (``succeed`` at the current
   instant), the Store/Resource hand-off pattern; process-bound.
+* ``open_loop`` — serving-style arrival schedules: tens of thousands
+  of *distinct* far-future timestamps (one heap entry each) plus one
+  saturated instant whose bucket dwarfs the compaction threshold.
+  This is the shape that exposed the unconditional ``del bucket[:pos]``
+  slice (O(bucket) every 4096 events, quadratic on a fan-in burst).
 
 Event counts are deterministic; events/sec is machine-dependent, but
 the calendar/heap *ratio* within one run is not (both sides run on the
@@ -36,6 +41,8 @@ LOCKSTEP_PROCS = 1024
 LOCKSTEP_ROUNDS = 200
 CASCADE_PROCS = 4
 CASCADE_ROUNDS = 50_000
+OPEN_LOOP_ARRIVALS = 60_000
+OPEN_LOOP_BURST = 160_000
 #: best-of-N wall time per measurement; simulated results are
 #: deterministic, so repeats only suppress scheduler/GC noise spikes
 REPEATS = 3
@@ -64,10 +71,22 @@ def _fill_cascade(env: Environment) -> None:
         env.process(proc())
 
 
+def _fill_open_loop(env: Environment) -> None:
+    # Distinct far-future arrivals (997 is coprime to everything in
+    # sight, so every instant is unique) ...
+    for i in range(OPEN_LOOP_ARRIVALS):
+        env.timeout(1_000 + i * 997)
+    # ... plus one saturated instant: a single bucket ~40x the
+    # compaction threshold, the admission fan-in shape.
+    for _ in range(OPEN_LOOP_BURST):
+        env.timeout(500)
+
+
 SCENARIOS: tuple[tuple[str, Callable[[Environment], None]], ...] = (
     ("churn", _fill_churn),
     ("lockstep", _fill_lockstep),
     ("cascade", _fill_cascade),
+    ("open_loop", _fill_open_loop),
 )
 
 

@@ -71,5 +71,7 @@ def write_bench(path: Path | str, suite: str, units: dict[str, str],
     }
     if extra:
         doc.update(extra)
-    Path(path).write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
     return doc

@@ -34,12 +34,25 @@ and therefore machine-independent:
   ``latency_us`` exactly — a drifted simulated latency means the
   default-path behaviour changed, which is a parity break, not noise.
 
+**serve** — gates ``BENCH_serve.json`` (RPC tier offered-load sweep)
+on simulated numbers, also machine-independent:
+
+* at every point present in both runs, goodput must stay within
+  ``--tolerance`` (default 20 %) of the baseline in either direction —
+  the tier is deterministic, so a drift means the serving or credit
+  path changed behaviour;
+* at the highest *pre-saturation* point (largest ``rho < 1.0``
+  present in both), p99 latency must not regress more than
+  ``--tolerance`` above the baseline.
+
 Usage::
 
     python ci/perf_gate.py BENCH_engine.json [--baseline PATH]
         [--tolerance 0.20] [--ratio-floor 2.0]
     python ci/perf_gate.py BENCH_scale.json [--baseline PATH]
         [--nic-advantage 1.5] [--growth-ceiling 2.0]
+    python ci/perf_gate.py BENCH_serve.json [--baseline PATH]
+        [--tolerance 0.20]
 """
 
 from __future__ import annotations
@@ -130,6 +143,47 @@ def _gate_scale(fresh: dict, base: dict, args,
             print(f"ok: {result['name']}: {got} us == baseline")
 
 
+def _gate_serve(fresh: dict, base: dict, args,
+                failures: list[str]) -> None:
+    """Simulated goodput/tail checks for the serve suite (deterministic,
+    so enforced regardless of platform)."""
+    base_by_name = {r["name"]: r for r in base["results"]}
+    shared = [r for r in fresh["results"] if r["name"] in base_by_name]
+    if not shared:
+        failures.append("no serve point shared with the baseline")
+        return
+
+    # 1. Goodput within tolerance of the baseline, both directions.
+    for result in shared:
+        ref = base_by_name[result["name"]]
+        got, want = result["goodput_rps"], ref["goodput_rps"]
+        drift = abs(got - want) / want if want else float("inf")
+        line = (f"{result['name']}: goodput {got:,.0f} rps "
+                f"(baseline {want:,.0f}, drift {drift:.1%})")
+        if drift > args.tolerance:
+            failures.append(f"goodput drift in {line} exceeds "
+                            f"{args.tolerance:.0%}")
+        else:
+            print(f"ok: {line}")
+
+    # 2. p99 at the highest pre-saturation load point must not regress.
+    pre_sat = [r for r in shared if r.get("rho", 1.0) < 1.0]
+    if not pre_sat:
+        failures.append("no pre-saturation (rho < 1.0) serve point "
+                        "shared with the baseline")
+        return
+    point = max(pre_sat, key=lambda r: r["rho"])
+    ref = base_by_name[point["name"]]
+    got, want = point["p99_us"], ref["p99_us"]
+    ceiling = want * (1.0 + args.tolerance)
+    line = (f"{point['name']}: p99 {got:,.1f} us "
+            f"(baseline {want:,.1f}, ceiling {ceiling:,.1f})")
+    if got > ceiling:
+        failures.append(f"pre-saturation p99 regression in {line}")
+    else:
+        print(f"ok: {line}")
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("fresh", help="freshly produced BENCH_*.json")
@@ -151,14 +205,16 @@ def main(argv: list[str] | None = None) -> int:
 
     fresh = load(args.fresh)
     if args.baseline is None:
-        name = {"scale": "BENCH_scale.json"}.get(fresh["suite"],
+        name = {"scale": "BENCH_scale.json",
+                "serve": "BENCH_serve.json"}.get(fresh["suite"],
                                                  "BENCH_engine.json")
         args.baseline = os.path.join(BASELINE_DIR, name)
     base = load(args.baseline)
     failures: list[str] = []
 
-    if fresh["suite"] == "scale":
-        _gate_scale(fresh, base, args, failures)
+    if fresh["suite"] in ("scale", "serve"):
+        gate = _gate_scale if fresh["suite"] == "scale" else _gate_serve
+        gate(fresh, base, args, failures)
         if failures:
             for failure in failures:
                 print(f"FAIL: {failure}", file=sys.stderr)

@@ -178,6 +178,44 @@ def build_parser() -> argparse.ArgumentParser:
     sc.add_argument("--congestion", action="append", metavar="SCENARIO",
                     choices=["incast", "hotspot", "permutation"],
                     help="also run a congestion scenario (repeatable)")
+
+    sv = sub.add_parser("serve",
+                        help="serving-tier offered-load sweep: "
+                             "p50/p99/p99.9 tail latency, goodput and "
+                             "shed counts through saturation")
+    sv.add_argument("--loads", default="0.5,0.8,0.95,1.1,1.4",
+                    help="offered loads as fractions of nominal "
+                         "capacity (comma-separated)")
+    sv.add_argument("--servers", type=int, default=2)
+    sv.add_argument("--clients", type=int, default=2,
+                    help="client (load-generator) ranks")
+    sv.add_argument("--workers", type=int, default=2,
+                    help="worker processes per server")
+    sv.add_argument("--queue-depth", type=int, default=32,
+                    help="bounded request queue per server")
+    sv.add_argument("--window", type=int, default=16,
+                    help="max in-flight RPCs per client rank")
+    sv.add_argument("--client-queue", type=int, default=16,
+                    help="arrivals that may park for a window slot "
+                         "before the client sheds them")
+    sv.add_argument("--policy", default="round_robin",
+                    choices=["round_robin", "least_loaded",
+                             "consistent_hash"])
+    sv.add_argument("--arrivals", default="poisson",
+                    choices=["poisson", "bursty"])
+    sv.add_argument("--requests", type=int, default=1000,
+                    help="total requests per load point")
+    sv.add_argument("--service-us", type=float, default=200.0,
+                    help="mean service time per request")
+    sv.add_argument("--service-dist", default="exp",
+                    choices=["fixed", "exp", "pareto"])
+    sv.add_argument("--seed", type=int, default=1)
+    sv.add_argument("--stages", action="store_true",
+                    help="also print the aggregate critical-path "
+                         "stage table per load point")
+    sv.add_argument("--metrics", choices=["prom", "json"], default=None,
+                    help="also dump the telemetry metrics registry "
+                         "(last load point)")
     return parser
 
 
@@ -558,6 +596,73 @@ def _cmd_scale(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.cluster import Cluster
+    from repro.experiments.scale import _StageAggregator
+    from repro.serve import ServeConfig, run_serve
+
+    scfg = ServeConfig(n_servers=args.servers,
+                       n_client_ranks=args.clients,
+                       workers=args.workers,
+                       queue_depth=args.queue_depth,
+                       window=args.window,
+                       client_queue=args.client_queue,
+                       policy=args.policy,
+                       arrivals=args.arrivals,
+                       requests=args.requests,
+                       service_us=args.service_us,
+                       service_dist=args.service_dist,
+                       seed=args.seed)
+    try:
+        scfg.validate()
+        loads = [float(tok) for tok in args.loads.split(",") if tok.strip()]
+    except ValueError as exc:
+        print(f"repro serve: error: {exc}", file=sys.stderr)
+        return 2
+    print(f"{scfg.n_servers} servers x {scfg.workers} workers "
+          f"(queue {scfg.queue_depth}), {scfg.n_client_ranks} client "
+          f"ranks (window {scfg.window} + {scfg.client_queue} parked), "
+          f"policy {scfg.policy}, {scfg.arrivals} arrivals, "
+          f"capacity {scfg.capacity_rps:,.0f} rps")
+    header = (f"{'rho':>5s} {'offered':>10s} {'goodput':>10s} "
+              f"{'p50_us':>9s} {'p99_us':>9s} {'p99.9_us':>9s} "
+              f"{'ok':>6s} {'shed_s':>6s} {'shed_c':>6s} {'parks':>6s} "
+              f"{'stalls':>6s}")
+    print(header)
+    print("-" * len(header))
+    session = None
+    for rho in loads:
+        cluster = Cluster(n_nodes=scfg.n_servers + scfg.n_client_ranks,
+                          trace=args.stages or None,
+                          telemetry=True if args.metrics else None)
+        agg = None
+        if args.stages:
+            agg = _StageAggregator(cluster.tracer)
+            agg.armed = True
+        report = run_serve(scfg, rho, cluster=cluster)
+        fmt = lambda v: f"{v:9.1f}" if v is not None else f"{'-':>9s}"
+        print(f"{rho:5.2f} {report.offered_rps:10,.0f} "
+              f"{report.goodput_rps:10,.0f} {fmt(report.p50_us)} "
+              f"{fmt(report.p99_us)} {fmt(report.p999_us)} "
+              f"{report.completed_ok:6d} {report.shed_server:6d} "
+              f"{report.shed_client:6d} {report.admission_parks:6d} "
+              f"{report.credit_stalls:6d}")
+        if agg is not None:
+            table = agg.table()
+            for stage, us in table[:6]:
+                marker = "  <- bounding" if table and stage == table[0][0] \
+                    else ""
+                print(f"      {stage:<14s} {us:12.2f} us{marker}")
+        session = cluster.telemetry
+    if args.metrics and session is not None:
+        print()
+        if args.metrics == "prom":
+            print(session.registry.render_prometheus(), end="")
+        else:
+            print(session.registry.to_json())
+    return 0
+
+
 _COMMANDS = {
     "evaluate": _cmd_evaluate,
     "latency": _cmd_latency,
@@ -570,6 +675,7 @@ _COMMANDS = {
     "fuzz": _cmd_fuzz,
     "observe": _cmd_observe,
     "scale": _cmd_scale,
+    "serve": _cmd_serve,
 }
 
 

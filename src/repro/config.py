@@ -197,6 +197,14 @@ class CostModel:
     pvm_inter_extra_us: float = 0.00
     pvm_inter_segment_us: float = 6.00
 
+    # ------------------------------------------------------------- serving
+    #: front-switch dispatch per admitted/shed request at the server:
+    #: header parse + admission decision + queue insert (host CPU)
+    serve_dispatch_us: float = 0.80
+    #: worker pickup/handoff overhead per serviced request (dequeue,
+    #: context, reply setup) — charged on the worker, not the intake CPU
+    serve_worker_overhead_us: float = 0.50
+
     # -------------------------------------------------------------- helpers
     def scaled_host_us(self, us_value: float) -> float:
         """Host software cost, scaled for CPU frequency ablations."""

@@ -31,7 +31,7 @@ from typing import Any, Callable, Optional, Sequence
 from repro.baselines.models import table2_presets
 from repro.config import DAWNING_3000, CostModel
 from repro.experiments import ablations, curves, extensions, overheads, \
-    resilience, scale, table1, table2, table3, timelines
+    resilience, scale, serve, table1, table2, table3, timelines
 from repro.experiments.cache import RunCache, default_cache_dir
 from repro.experiments.common import ExperimentResult, result_from_payload, \
     result_to_payload
@@ -106,6 +106,7 @@ CELL_FNS: dict[str, Callable] = {
     "resilience.point": resilience.measure_resilience_point,
     "scale.point": scale.measure_scale_point,
     "scale.congestion": scale.measure_congestion_point,
+    "serve.point": serve.measure_serve_point,
 }
 
 
@@ -199,6 +200,17 @@ EXPERIMENTS: tuple = (
                               for s in ("incast", "hotspot",
                                         "permutation")],
                scale.merge_scale),
+    # Serving tier: offered load through saturation for both arrival
+    # processes (round_robin), plus a policy comparison at overload.
+    Experiment("ext-serve", "extension",
+               lambda cfg: [_cell("serve.point", rho=rho,
+                                  policy="round_robin", arrivals=arr)
+                            for arr in ("poisson", "bursty")
+                            for rho in serve.serve_loads()]
+                           + [_cell("serve.point", rho=1.1, policy=p,
+                                    arrivals="poisson")
+                              for p in serve.SERVE_POLICIES[1:]],
+               serve.merge_serve),
     # Loss-rate x size sweep; the plan re-reads the (env-overridable)
     # sweep axes at call time so smoke runs can shrink it.
     Experiment("resilience", "extension",

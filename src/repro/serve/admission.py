@@ -1,0 +1,81 @@
+"""Client-side admission control: a counted in-flight window.
+
+Generalizes the EADI eager-credit machinery one level up: each client
+rank may have at most ``window`` RPCs in flight.  Arrivals beyond the
+window park FIFO (up to ``max_parked`` of them — bounding memory under
+overload); anything beyond that is shed immediately, keeping the load
+generator open-loop.
+
+The release discipline is the one the EADI credit fix pinned: a freed
+slot is handed *directly* to the single oldest parked waiter — waiters
+never re-contend, so there is no thundering herd and no lost-wakeup
+re-park, and wakeups are strictly FIFO.
+"""
+
+from __future__ import annotations
+
+from repro.sim import Environment, Event
+
+__all__ = ["AdmissionWindow"]
+
+
+class AdmissionWindow:
+    def __init__(self, env: Environment, window: int, max_parked: int = 0):
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        if max_parked < 0:
+            raise ValueError(f"max_parked must be >= 0, got {max_parked}")
+        self.env = env
+        self.window = window
+        self.max_parked = max_parked
+        self._free = window
+        self._parked: list[Event] = []
+        # ------------------------------------------------------ stats
+        self.admitted = 0      #: granted a slot (immediately or parked)
+        self.shed = 0          #: rejected outright (park queue full)
+        self.parks = 0         #: admissions that had to park first
+        self.peak_parked = 0
+        self.peak_in_flight = 0
+
+    @property
+    def in_flight(self) -> int:
+        return self.window - self._free
+
+    @property
+    def parked(self) -> int:
+        return len(self._parked)
+
+    def admit(self):
+        """One arrival wants a slot.
+
+        Returns ``None`` when a slot was granted immediately, an
+        :class:`Event` to wait on when the arrival parked, or ``False``
+        when it must be shed (window and park queue both full).
+        """
+        if self._free > 0:
+            self._free -= 1
+            self.admitted += 1
+            self.peak_in_flight = max(self.peak_in_flight, self.in_flight)
+            return None
+        if len(self._parked) >= self.max_parked:
+            self.shed += 1
+            return False
+        gate = Event(self.env)
+        self._parked.append(gate)
+        self.admitted += 1
+        self.parks += 1
+        self.peak_parked = max(self.peak_parked, len(self._parked))
+        return gate
+
+    def release(self, count: int = 1) -> None:
+        """Return ``count`` slots; each wakes at most one parked waiter
+        (oldest first), the remainder of the queue stays parked."""
+        for _ in range(count):
+            if self._parked:
+                # Hand the slot straight over: the waiter stays
+                # in-flight, nobody re-contends.
+                self._parked.pop(0).succeed()
+            else:
+                if self._free >= self.window:
+                    raise RuntimeError("admission window over-released")
+                self._free += 1

@@ -1,0 +1,89 @@
+"""Serving-tier configuration.
+
+Separate from :class:`repro.config.CostModel` (which calibrates the
+*hardware*): a :class:`ServeConfig` describes one service deployment —
+how many servers and client ranks, worker-pool shape, admission limits,
+the load-balancing policy and the workload's statistical shape.  It is
+a frozen dataclass so it can ride inside experiment cache keys.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+__all__ = ["ServeConfig", "POLICIES", "ARRIVALS", "SERVICE_DISTS"]
+
+POLICIES = ("round_robin", "least_loaded", "consistent_hash")
+ARRIVALS = ("poisson", "bursty")
+SERVICE_DISTS = ("fixed", "exp", "pareto")
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    # ------------------------------------------------------- deployment
+    n_servers: int = 2          #: server ranks (nodes 0..n_servers-1)
+    n_client_ranks: int = 2     #: load-generator ranks (one node each)
+    workers: int = 2            #: worker processes per server
+    queue_depth: int = 32       #: bounded request queue per server
+    #: client-side admission window: max in-flight RPCs per client rank
+    window: int = 16
+    #: arrivals that may park waiting for a window slot before the
+    #: client sheds them outright (bounds client-side memory)
+    client_queue: int = 16
+    policy: str = "round_robin"     #: front-switch balancing policy
+    hash_replicas: int = 32         #: ring replicas (consistent_hash)
+
+    # --------------------------------------------------------- workload
+    #: simulated-client id space multiplexed over the client ranks
+    simulated_clients: int = 1_000_000
+    arrivals: str = "poisson"   #: "poisson" | "bursty"
+    burst_factor: float = 6.0   #: burst-state rate multiplier (bursty)
+    burst_fraction: float = 0.15  #: fraction of time in the burst state
+    requests: int = 1000        #: total requests across all client ranks
+    req_bytes_min: int = 64     #: bounded-Pareto request size floor
+    req_bytes_alpha: float = 1.3
+    req_bytes_cap: int = 16384  #: tail cap (crosses into rendezvous)
+    reply_bytes: int = 256
+    service_dist: str = "exp"   #: "fixed" | "exp" | "pareto"
+    service_us: float = 200.0   #: mean service time per request
+    service_alpha: float = 2.2
+    service_cap_us: float = 20_000.0
+    seed: int = 1
+
+    # ---------------------------------------------------------- helpers
+    @property
+    def capacity_rps(self) -> float:
+        """Nominal service capacity: workers / mean service time."""
+        return self.n_servers * self.workers / (self.service_us * 1e-6)
+
+    def offered_rps(self, rho: float) -> float:
+        return rho * self.capacity_rps
+
+    def replace(self, **changes) -> "ServeConfig":
+        return dataclasses.replace(self, **changes)
+
+    def validate(self) -> None:
+        if self.n_servers < 1 or self.n_client_ranks < 1:
+            raise ValueError("need at least one server and one client rank")
+        if self.workers < 1 or self.queue_depth < 1 or self.window < 1:
+            raise ValueError("workers, queue_depth and window must be >= 1")
+        if self.client_queue < 0:
+            raise ValueError("client_queue must be >= 0")
+        if self.policy not in POLICIES:
+            raise ValueError(f"unknown policy {self.policy!r} "
+                             f"(known: {POLICIES})")
+        if self.arrivals not in ARRIVALS:
+            raise ValueError(f"unknown arrivals {self.arrivals!r} "
+                             f"(known: {ARRIVALS})")
+        if self.service_dist not in SERVICE_DISTS:
+            raise ValueError(f"unknown service_dist {self.service_dist!r} "
+                             f"(known: {SERVICE_DISTS})")
+        if self.requests < 1:
+            raise ValueError("requests must be >= 1")
+        if not 0 < self.req_bytes_min <= self.req_bytes_cap:
+            raise ValueError("need 0 < req_bytes_min <= req_bytes_cap")
+        if self.service_us <= 0:
+            raise ValueError("service_us must be positive")
+        if self.simulated_clients < 1:
+            raise ValueError("simulated_clients must be >= 1")

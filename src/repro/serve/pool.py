@@ -1,0 +1,127 @@
+"""Per-server worker pool: a bounded priority queue + worker processes.
+
+The queue is keyed by ``(arrival_ns, src_rank, tag)`` — the request's
+*client-side* identity, embedded in its header — rather than enqueue
+order.  Two requests delivered at the same simulated instant are
+therefore serviced in the same order regardless of how the event
+engine's tie-break permutes their delivery callbacks; worker-pool
+ordering stays byte-identical under the fuzz tie-break shuffler.
+
+``try_put`` is the admission decision: it drops (returns ``False``)
+when the queue holds ``depth`` requests, so server memory is bounded no
+matter the offered load.  Workers pop in priority order and run the
+supplied service generator; ``stop()`` injects one sentinel per worker
+*behind* all real work (sentinels sort last).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Generator, Optional
+
+from repro.sim import Environment, Event
+
+__all__ = ["RequestQueue", "WorkerPool", "STOP"]
+
+#: sentinel: sorts after every real key, tells a worker to exit
+STOP = object()
+_STOP_KEY = (float("inf"), float("inf"), float("inf"))
+
+
+class RequestQueue:
+    """Bounded priority queue with blocking, FIFO-woken getters."""
+
+    def __init__(self, env: Environment, depth: int):
+        if depth < 1:
+            raise ValueError(f"depth must be >= 1, got {depth}")
+        self.env = env
+        self.depth = depth
+        self._heap: list[tuple] = []
+        self._live = 0           # non-sentinel entries (capacity check)
+        self._getters: list[Event] = []
+        self.peak_depth = 0
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def try_put(self, key: tuple, item) -> bool:
+        """Admit ``item`` under ``key``; False (drop) when full."""
+        if self._live >= self.depth:
+            self.dropped += 1
+            return False
+        heapq.heappush(self._heap, (key, item))
+        self._live += 1
+        self.peak_depth = max(self.peak_depth, self._live)
+        self._wake_one()
+        return True
+
+    def put_sentinel(self) -> None:
+        """Inject a STOP marker behind all queued work (bypasses the
+        capacity bound: shutdown must not be shed)."""
+        heapq.heappush(self._heap, (_STOP_KEY, STOP))
+        self._wake_one()
+
+    def _wake_one(self) -> None:
+        if self._getters:
+            self._getters.pop(0).succeed()
+
+    def get(self) -> Generator:
+        """Pop the smallest-keyed item (generator: parks when empty)."""
+        while not self._heap:
+            gate = Event(self.env)
+            self._getters.append(gate)
+            yield gate
+        key, item = heapq.heappop(self._heap)
+        if item is not STOP:
+            self._live -= 1
+        if self._heap:
+            # More work than wakeups can happen (puts while no getter
+            # was parked); pass the signal along so sibling workers
+            # parked right now also get up.
+            self._wake_one()
+        return item
+
+
+class WorkerPool:
+    """``n_workers`` identical service loops over one RequestQueue."""
+
+    def __init__(self, env: Environment, n_workers: int, depth: int,
+                 service_fn: Callable[..., Generator],
+                 name: str = "serve"):
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        self.env = env
+        self.n_workers = n_workers
+        self.queue = RequestQueue(env, depth)
+        self.service_fn = service_fn
+        self.in_service = 0
+        self.serviced = 0
+        self._procs = [env.process(self._worker(i), name=f"{name}.w{i}")
+                       for i in range(n_workers)]
+
+    @property
+    def load(self) -> int:
+        """Queued + in-service requests (the least-loaded signal)."""
+        return len(self.queue) + self.in_service
+
+    def _worker(self, index: int) -> Generator:
+        while True:
+            item = yield from self.queue.get()
+            if item is STOP:
+                return
+            self.in_service += 1
+            try:
+                yield from self.service_fn(item, index)
+            finally:
+                self.in_service -= 1
+                self.serviced += 1
+
+    def stop(self) -> None:
+        """Ask every worker to exit once the queue drains."""
+        for _ in range(self.n_workers):
+            self.queue.put_sentinel()
+
+    def drained(self) -> Optional[Event]:
+        """All-workers-exited event (for the shutdown joiner)."""
+        return self.env.all_of(self._procs)

@@ -1,0 +1,56 @@
+"""Wire format of the serving tier's RPC messages.
+
+A request is an EADI message whose first :data:`HEADER_BYTES` carry the
+request header; the remainder is opaque payload (sized by the workload's
+heavy-tailed sampler, content irrelevant to the simulation).  The reply
+is an EADI message back to the requesting rank under the request's tag;
+its first byte is the reply flag (:data:`R_OK` / :data:`R_SHED`).
+
+The header embeds everything the server needs to service the request
+*deterministically from the request's identity alone*: the simulated
+client id (multiplexing: many clients ride one rank/endpoint), the
+open-loop arrival timestamp (also the server's queue priority key, so
+service order never depends on same-instant delivery permutations), the
+pre-sampled service time and the reply size.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+__all__ = ["HEADER_BYTES", "K_REQUEST", "K_STOP", "R_OK", "R_SHED",
+           "RequestHeader", "pack_header", "unpack_header"]
+
+#: kind, client_id, arrival_ns, service_ns, reply_bytes (+ pad to 32)
+_HEADER = struct.Struct("<BQQQI")
+HEADER_BYTES = 32
+
+K_REQUEST = 1
+K_STOP = 2
+
+R_OK = 1
+R_SHED = 2
+
+
+@dataclass(frozen=True)
+class RequestHeader:
+    kind: int
+    client_id: int
+    arrival_ns: int
+    service_ns: int
+    reply_bytes: int
+
+
+def pack_header(kind: int, client_id: int = 0, arrival_ns: int = 0,
+                service_ns: int = 0, reply_bytes: int = 0) -> bytes:
+    raw = _HEADER.pack(kind, client_id, arrival_ns, service_ns,
+                       reply_bytes)
+    return raw.ljust(HEADER_BYTES, b"\0")
+
+
+def unpack_header(data: bytes) -> RequestHeader:
+    kind, client_id, arrival_ns, service_ns, reply_bytes = \
+        _HEADER.unpack(data[:_HEADER.size])
+    return RequestHeader(kind, client_id, arrival_ns, service_ns,
+                         reply_bytes)

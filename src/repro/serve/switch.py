@@ -1,0 +1,61 @@
+"""The load-balancing front switch.
+
+A logically centralized dispatch function mapping each request to a
+server rank.  Three policies:
+
+* ``round_robin`` — per-client-rank rotation, offset by the rank slot
+  so concurrent generators do not gang up on server 0;
+* ``least_loaded`` — the server with the smallest instantaneous load
+  (queued + in service), ties to the lowest rank: models a front switch
+  with live backend feedback;
+* ``consistent_hash`` — CRC-32 hash ring with ``hash_replicas`` virtual
+  nodes per server, keyed by the simulated client id: models session
+  affinity, and keeps most keys stable when the server set changes.
+
+All three are deterministic functions of (request identity, observable
+server state), never of wall clock or Python hash randomization.
+"""
+
+from __future__ import annotations
+
+import bisect
+from zlib import crc32
+from typing import Callable, Sequence
+
+__all__ = ["FrontSwitch"]
+
+
+class FrontSwitch:
+    def __init__(self, policy: str, server_ranks: Sequence[int],
+                 load_of: Callable[[int], int], *,
+                 hash_replicas: int = 32, seed: int = 1):
+        self.policy = policy
+        self.server_ranks = tuple(server_ranks)
+        self.load_of = load_of
+        self._rr_next: dict[int, int] = {}
+        self._ring: list[tuple[int, int]] = []
+        if policy == "consistent_hash":
+            points = []
+            for rank in self.server_ranks:
+                for replica in range(hash_replicas):
+                    points.append(
+                        (crc32(f"{rank}:{replica}:{seed}".encode()), rank))
+            points.sort()
+            self._ring = points
+            self._ring_keys = [point for point, _ in points]
+
+    def pick(self, client_id: int, rank_slot: int) -> int:
+        """Server rank for one request from ``client_id`` arriving via
+        client-rank slot ``rank_slot``."""
+        servers = self.server_ranks
+        if self.policy == "round_robin":
+            index = self._rr_next.get(rank_slot, rank_slot % len(servers))
+            self._rr_next[rank_slot] = (index + 1) % len(servers)
+            return servers[index]
+        if self.policy == "least_loaded":
+            return min(servers, key=lambda rank: (self.load_of(rank), rank))
+        point = crc32(str(client_id).encode())
+        index = bisect.bisect_right(self._ring_keys, point)
+        if index == len(self._ring):
+            index = 0
+        return self._ring[index][1]

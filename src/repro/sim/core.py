@@ -599,6 +599,12 @@ class Environment:
                 self._now = when
             event = self._bucket[self._pos]
             self._pos += 1
+            # Same amortized compaction as the run() loop — step() used
+            # to never compact, so a long-lived same-instant bucket
+            # pinned every consumed event for its whole lifetime.
+            if self._pos >= _COMPACT and self._pos * 2 >= len(self._bucket):
+                del self._bucket[:self._pos]
+                self._pos = 0
         self._n_events += 1
         callbacks = event._callbacks
         event._callbacks = _PROCESSED
@@ -686,7 +692,14 @@ class Environment:
                         pool.append(event)
                 if not event._ok and not event._defused:
                     raise event._value
-                if pos >= _COMPACT:
+                if pos >= _COMPACT and pos * 2 >= len(bucket):
+                    # Amortized compaction: only shift the tail once the
+                    # consumed prefix dominates the bucket.  Compacting
+                    # unconditionally every _COMPACT events is O(len)
+                    # per slice on a huge same-instant bucket (open-loop
+                    # fan-in), i.e. quadratic overall; gating on the
+                    # half-way mark keeps each element shifted O(1)
+                    # times while still bounding memory at ~2x live.
                     del bucket[:pos]
                     pos = 0
         finally:

@@ -98,6 +98,10 @@ class TelemetrySession:
             lambda ep=endpoint: ep.unexpected_count,
             "eager arrivals queued before a matching receive was posted",
             kind="counter", **labels)
+        endpoint._stall_hist = self.registry.histogram(
+            "repro_eadi_credit_stall_ns",
+            "sim time spent parked per eager-credit stall",
+            **labels)
 
     # ----------------------------------------------------------- queries
     def _refresh(self) -> None:

@@ -201,6 +201,9 @@ class EadiEndpoint:
         self._credit_waiters: dict[int, list[Event]] = {}
         self._owed: dict[int, int] = {}
         self.credit_stalls = 0
+        #: set by TelemetrySession.register_eadi — histogram of sim-ns
+        #: spent parked per credit stall
+        self._stall_hist = None
         self.eager_sends = 0
         self.rendezvous_sends = 0
         self.unexpected_count = 0
@@ -246,15 +249,29 @@ class EadiEndpoint:
         the peer's CREDIT envelopes (and everything else) are handled —
         otherwise two mutually-stalled endpoints would deadlock.
         """
-        credits = self._credits.setdefault(dst_rank, self._credits_initial)
-        if credits <= 0:
-            self.credit_stalls += 1
+        self._credits.setdefault(dst_rank, self._credits_initial)
         while self._credits[dst_rank] <= 0:
+            # Each park is a distinct stall: a waiter woken by a
+            # recv-queue event (not its gate) that finds the balance
+            # still empty re-parks, and that re-park must count.
+            self.credit_stalls += 1
+            stalled_at = self.env.now
             gate = _CreditGate(self, dst_rank)
             self._credit_waiters.setdefault(dst_rank, []).append(gate)
             yield self.env.any_of([gate,
                                    self.port.recv_queue.wakeup_event(),
                                    self.port._shm_wakeup_event()])
+            if not gate.triggered:
+                # Woken by the recv queue, not the gate: withdraw the
+                # stale gate so it cannot absorb a future wake slot
+                # that a genuinely-parked waiter needs.
+                waiters = self._credit_waiters.get(dst_rank)
+                if waiters is not None and gate in waiters:
+                    waiters.remove(gate)
+                    if not waiters:
+                        del self._credit_waiters[dst_rank]
+            if self._stall_hist is not None:
+                self._stall_hist.observe(self.env.now - stalled_at)
             yield from self.progress()
         self._credits[dst_rank] -= 1
 
@@ -263,10 +280,19 @@ class EadiEndpoint:
             self._credits.setdefault(src_rank, self._credits_initial) + count
         if self._audit is not None:
             self._audit.check_credits(self, src_rank)
-        waiters = self._credit_waiters.pop(src_rank, [])
-        for gate in waiters:
+        # Wake at most ``count`` waiters, oldest first; the remainder
+        # stay parked.  Waking everyone makes N waiters re-contend for
+        # ``count`` credits and N-count of them re-park on every
+        # release — a thundering herd under serving-style fan-in.
+        waiters = self._credit_waiters.get(src_rank)
+        if not waiters:
+            return
+        for _ in range(min(count, len(waiters))):
+            gate = waiters.pop(0)
             if not gate.triggered:
                 gate.succeed()
+        if not waiters:
+            del self._credit_waiters[src_rank]
 
     def _account_envelope_received(self, src_rank: int) -> Generator:
         """A credit-consuming envelope was drained from the pool: owe

@@ -15,6 +15,10 @@ application kernel per motivating domain:
 :mod:`repro.workloads.congestion` adds fabric-scale adversarial
 traffic (incast, hotspot, permutation) for judging topologies under
 load — see the scale-out experiments.
+
+:mod:`repro.workloads.serve` generates the serving tier's open-loop
+load: seeded Poisson/bursty arrival schedules with heavy-tailed
+request sizes over a million-client id space — see ``repro.serve``.
 """
 
 from repro.workloads.congestion import (
@@ -33,8 +37,16 @@ from repro.workloads.apps import (
     run_sample_sort,
     run_stencil,
 )
+from repro.workloads.serve import (
+    Arrival,
+    client_schedule,
+    schedules,
+)
 
 __all__ = [
+    "Arrival",
+    "client_schedule",
+    "schedules",
     "CongestionResult",
     "measure_hotspot",
     "measure_streaming_bandwidth",

@@ -1,0 +1,112 @@
+"""Open-loop load generation for the serving tier.
+
+Everything is sampled *up front*, per client rank, from a seeded RNG:
+arrival timestamps (Poisson, or bursty via a two-state Markov-modulated
+Poisson process), heavy-tailed request sizes (bounded Pareto), service
+times (fixed / exponential / bounded Pareto) and simulated client ids
+drawn from a ``simulated_clients``-sized space.  The driver then only
+replays the schedule, so a run is a pure function of
+``(ServeConfig, rho)`` — and a request's service demand is a function
+of its identity, never of queue position.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # annotation-only: repro.serve.tier imports us back
+    from repro.serve.config import ServeConfig
+
+__all__ = ["Arrival", "client_schedule", "schedules"]
+
+
+@dataclass(frozen=True)
+class Arrival:
+    t_ns: int           #: open-loop arrival instant (schedule-relative)
+    client_id: int      #: simulated client this request belongs to
+    req_index: int      #: per-rank sequence number (also the EADI tag)
+    req_bytes: int
+    service_ns: int
+    reply_bytes: int
+
+
+def _bounded_pareto(rng: random.Random, xmin: float, alpha: float,
+                    cap: float) -> float:
+    value = xmin / (1.0 - rng.random()) ** (1.0 / alpha)
+    return min(value, cap)
+
+
+def _service_ns(rng: random.Random, cfg: ServeConfig) -> int:
+    mean_us = cfg.service_us
+    if cfg.service_dist == "fixed":
+        us = mean_us
+    elif cfg.service_dist == "exp":
+        us = rng.expovariate(1.0 / mean_us)
+    else:  # pareto with the requested mean: xm = mean * (a-1)/a
+        alpha = cfg.service_alpha
+        xm = mean_us * (alpha - 1.0) / alpha
+        us = _bounded_pareto(rng, xm, alpha, cfg.service_cap_us)
+    return max(1, round(us * 1000.0))
+
+
+def client_schedule(cfg: ServeConfig, rho: float,
+                    rank_slot: int) -> list[Arrival]:
+    """The pre-generated arrival schedule for one client rank."""
+    cfg.validate()
+    if rho <= 0:
+        raise ValueError(f"offered load rho must be positive, got {rho}")
+    per_rank = cfg.requests // cfg.n_client_ranks
+    if rank_slot < cfg.requests % cfg.n_client_ranks:
+        per_rank += 1
+    rng = random.Random(f"{cfg.seed}:{rank_slot}:{round(rho * 1e6)}")
+    rate_rps = cfg.offered_rps(rho) / cfg.n_client_ranks
+    mean_gap_ns = 1e9 / rate_rps
+
+    # Bursty: a two-state MMPP.  The burst state runs at
+    # ``burst_factor`` x the base rate for ``burst_fraction`` of the
+    # time; the quiet state's rate is scaled so the long-run average
+    # stays the offered rate.  Dwell times are exponential, ~20 mean
+    # gaps long, so bursts span many arrivals.
+    bursty = cfg.arrivals == "bursty"
+    if bursty:
+        f, b = cfg.burst_fraction, cfg.burst_factor
+        quiet_scale = max(1e-3, (1.0 - f * b) / (1.0 - f))
+        dwell_burst_ns = 20.0 * mean_gap_ns
+        dwell_quiet_ns = dwell_burst_ns * (1.0 - f) / f
+        in_burst = rng.random() < f
+        state_left_ns = rng.expovariate(
+            1.0 / (dwell_burst_ns if in_burst else dwell_quiet_ns))
+
+    arrivals: list[Arrival] = []
+    t = 0.0
+    for index in range(per_rank):
+        if bursty:
+            scale = (1.0 / b) if in_burst else (1.0 / quiet_scale)
+            gap = rng.expovariate(1.0 / mean_gap_ns) * scale
+            state_left_ns -= gap
+            while state_left_ns <= 0.0:
+                in_burst = not in_burst
+                state_left_ns += rng.expovariate(
+                    1.0 / (dwell_burst_ns if in_burst else dwell_quiet_ns))
+        else:
+            gap = rng.expovariate(1.0 / mean_gap_ns)
+        t += gap
+        req_bytes = round(_bounded_pareto(
+            rng, cfg.req_bytes_min, cfg.req_bytes_alpha, cfg.req_bytes_cap))
+        arrivals.append(Arrival(
+            t_ns=round(t),
+            client_id=rng.randrange(cfg.simulated_clients),
+            # Tag 0 is reserved for STOP control messages.
+            req_index=index + 1,
+            req_bytes=max(req_bytes, 32),
+            service_ns=_service_ns(rng, cfg),
+            reply_bytes=cfg.reply_bytes))
+    return arrivals
+
+
+def schedules(cfg: ServeConfig, rho: float) -> list[list[Arrival]]:
+    """One schedule per client rank."""
+    return [client_schedule(cfg, rho, slot)
+            for slot in range(cfg.n_client_ranks)]

@@ -104,9 +104,28 @@ def test_committed_baselines_conform():
     baseline_dir = ROOT / "benchmarks" / "perf" / "baseline"
     paths = sorted(baseline_dir.glob("BENCH_*.json"))
     assert [p.name for p in paths] == \
-        ["BENCH_engine.json", "BENCH_experiments.json", "BENCH_scale.json"]
+        ["BENCH_engine.json", "BENCH_experiments.json", "BENCH_scale.json",
+         "BENCH_serve.json"]
     for path in paths:
         _check_schema(json.loads(path.read_text()))
+
+
+def test_serve_baseline_crosses_saturation():
+    """The serve baseline spans pre- and post-saturation loads for both
+    arrival processes, so the gate has a knee to hold on to."""
+    doc = json.loads((ROOT / "benchmarks" / "perf" / "baseline" /
+                      "BENCH_serve.json").read_text())
+    assert doc["suite"] == "serve"
+    by_arrivals: dict[str, list] = {}
+    for r in doc["results"]:
+        by_arrivals.setdefault(r["arrivals"], []).append(r)
+        assert r["goodput_rps"] > 0
+        assert r["p50_us"] <= r["p99_us"] <= r["p999_us"]
+    for arrivals in ("poisson", "bursty"):
+        rhos = {r["rho"] for r in by_arrivals[arrivals]}
+        assert min(rhos) < 1.0 < max(rhos)
+    overloaded = [r for r in by_arrivals["poisson"] if r["rho"] > 1.0]
+    assert all(r["shed"] > 0 for r in overloaded)
 
 
 def test_scale_baseline_names_and_bounding_stages():

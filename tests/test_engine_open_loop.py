@@ -1,0 +1,85 @@
+"""Calendar-queue behaviour under open-loop arrivals.
+
+The serving tier schedules tens of thousands of *distinct* future
+instants (open-loop arrival schedules) plus occasional huge same-
+instant bursts.  Two degenerate behaviours are pinned here:
+
+* the calendar scheduler must stay result-identical to the reference
+  heap on such workloads (the open-loop scenario now tracked by
+  ``BENCH_engine.json``);
+* bucket compaction must be amortized: consuming a giant same-instant
+  bucket may not leave the consumed prefix in memory, and must never
+  recompact per-slice (the old unconditional ``del`` at every 4096th
+  event was quadratic on a single large bucket).
+"""
+
+from __future__ import annotations
+
+from repro.sim import Environment, SimulationError
+from repro.sim.core import _COMPACT
+
+
+def _open_loop_run(scheduler: str):
+    env = Environment(scheduler=scheduler)
+    fired: list[tuple[int, int]] = []
+
+    def arrival(i, delay):
+        yield env.timeout(delay)
+        fired.append((env.now, i))
+
+    # Distinct arrival instants (pairwise-coprime stride) plus one
+    # same-instant burst in the middle.
+    for i in range(2_000):
+        env.process(arrival(i, 1_000 + i * 997))
+    for i in range(2_000, 3_000):
+        env.process(arrival(i, 500_000))
+    env.run()
+    return fired, env.now, env.events_processed
+
+
+def test_calendar_matches_heap_on_open_loop_arrivals():
+    calendar = _open_loop_run("calendar")
+    heap = _open_loop_run("heap")
+    assert calendar == heap
+    assert len(calendar[0]) == 3_000
+
+
+def test_current_bucket_compaction_is_amortized():
+    """Stepping through a bucket much larger than the compaction stride
+    keeps the consumed prefix bounded: once the read position passes
+    both the stride and half the bucket, the prefix is reclaimed."""
+    env = Environment()
+    n = 3 * _COMPACT
+    done = []
+
+    def wake(i):
+        yield env.timeout(100)
+        done.append(i)
+
+    for i in range(n):
+        env.process(wake(i))
+    while True:
+        try:
+            env.step()
+        except SimulationError:
+            break
+        # The invariant the amortized compaction maintains: never both
+        # past the stride *and* past half the (remaining) bucket.
+        assert not (env._pos >= _COMPACT
+                    and env._pos * 2 >= len(env._bucket))
+    assert len(done) == n
+
+
+def test_compaction_preserves_fifo_order_within_the_bucket():
+    env = Environment()
+    order = []
+
+    def wake(i):
+        yield env.timeout(100)
+        order.append(i)
+
+    n = 2 * _COMPACT + 17
+    for i in range(n):
+        env.process(wake(i))
+    env.run()
+    assert order == list(range(n))
