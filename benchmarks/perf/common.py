@@ -49,13 +49,24 @@ def git_sha() -> str:
 
 
 def run_metadata(seed: int) -> dict[str, Any]:
-    return {
+    meta = {
         "git_sha": git_sha(),
         "python": sys.version.split()[0],
         "platform": platform.platform(),
         "timestamp_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "seed": seed,
     }
+    # Digest of the default cost model, so `repro diff` can tell a
+    # deliberate reconfiguration apart from a behaviour drift.  The
+    # benchmarks all run DAWNING_3000; tolerate an unimportable package
+    # (the bench scripts insert src/ on sys.path themselves).
+    try:
+        from repro.config import DAWNING_3000
+        from repro.telemetry.ledger import config_digest
+        meta["config_digest"] = config_digest(DAWNING_3000)
+    except Exception:
+        meta["config_digest"] = "unknown"
+    return meta
 
 
 def write_bench(path: Path | str, suite: str, units: dict[str, str],

@@ -66,6 +66,25 @@ ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 BASELINE_DIR = os.path.join(ROOT, "benchmarks", "perf", "baseline")
 DEFAULT_BASELINE = os.path.join(BASELINE_DIR, "BENCH_engine.json")
 
+# CI invokes this script without PYTHONPATH=src; the differ import for
+# failure attribution needs the package on the path.
+sys.path.insert(0, os.path.join(ROOT, "src"))
+
+
+def _attribution(baseline_path: str, fresh_path: str,
+                 metric: str | None) -> str | None:
+    """One-line regression attribution from repro.telemetry.diff.
+
+    Best-effort: the gate's own FAIL lines already carry the verdict,
+    so a differ import/parse problem must not change the exit path.
+    """
+    try:
+        from repro.telemetry.diff import diff_runs
+        diff = diff_runs(baseline_path, fresh_path)
+        return diff.attribution(metric=metric)
+    except Exception:
+        return None
+
 
 def load(path: str) -> dict:
     with open(path) as fh:
@@ -218,6 +237,11 @@ def main(argv: list[str] | None = None) -> int:
         if failures:
             for failure in failures:
                 print(f"FAIL: {failure}", file=sys.stderr)
+            metric = "p99_us" if fresh["suite"] == "serve" \
+                else "latency_us"
+            line = _attribution(args.baseline, args.fresh, metric)
+            if line:
+                print(f"attribution: {line}", file=sys.stderr)
             return 1
         print("perf gate passed")
         return 0
@@ -258,6 +282,9 @@ def main(argv: list[str] | None = None) -> int:
     if failures:
         for failure in failures:
             print(f"FAIL: {failure}", file=sys.stderr)
+        line = _attribution(args.baseline, args.fresh, "events_per_sec")
+        if line:
+            print(f"attribution: {line}", file=sys.stderr)
         return 1
     print("perf gate passed")
     return 0

@@ -512,6 +512,19 @@ class Auditor:
 
     def _raise(self, violations: list[Violation]) -> None:
         self.violations_raised += len(violations)
+        # Give the flight recorder (when riding along) its postmortem
+        # before the violation propagates.  dump() is exception-safe by
+        # contract, but guard anyway: a postmortem failure must never
+        # mask the audit violation it documents.
+        recorder = getattr(self.env, "_recorder", None)
+        if recorder is not None:
+            try:
+                recorder.dump(
+                    "audit: " + "; ".join(
+                        f"{v.layer}/{v.rule}" for v in violations),
+                    note="\n".join(v.format() for v in violations))
+            except Exception:
+                pass
         raise AuditError(violations)
 
     # --------------------------------------- instrumented-module hooks

@@ -24,17 +24,37 @@ Commands:
 * ``scale``      — host vs NIC collectives (and congestion scenarios)
   on a chosen fabric at a chosen rank count: one scale-sweep point,
   with the critical-path stage table
+* ``diff``       — regression attribution between two run ledgers (or
+  BENCH_*.json perf artifacts): ranked per-stage and per-metric delta
+  tables naming the stage whose share grew
+* ``postmortem`` — render a flight-recorder ``postmortem-*.json``:
+  last-K event timeline, spans open at death, metrics snapshot
+
+Run artifacts: ``evaluate``, ``observe``, ``scale`` and ``serve`` all
+take ``--ledger-out FILE`` to write a self-describing ``repro-run/1``
+ledger for later ``repro diff``.  ``faults``, ``fuzz`` and ``serve``
+take ``--recorder`` to ride the crash flight recorder along
+(``REPRO_RECORDER=1`` does the same globally).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.cluster import Cluster
 from repro.config import DAWNING_3000
 
 __all__ = ["main", "build_parser"]
+
+
+def _ensure_parent(path: str) -> None:
+    """Create the parent directory of a CLI artifact output, so a
+    fresh ``--*-out deep/new/dir/file.json`` path cannot fail after
+    the run's work is already done."""
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -59,6 +79,9 @@ def build_parser() -> argparse.ArgumentParser:
     ev.add_argument("--audit", action="store_true",
                     help="attach the runtime invariant auditor to every "
                          "cluster (violations abort the run)")
+    ev.add_argument("--ledger-out", metavar="FILE", default=None,
+                    help="write a repro-run/1 ledger (stage table, "
+                         "events, provenance) for later `repro diff`")
 
     lat = sub.add_parser("latency", help="one-way latency measurement")
     lat.add_argument("--bytes", type=int, default=0)
@@ -99,6 +122,9 @@ def build_parser() -> argparse.ArgumentParser:
     fl.add_argument("--trace-output", metavar="FILE", default=None,
                     help="also dump a chrome://tracing JSON with the "
                          "injected faults as instant markers")
+    fl.add_argument("--recorder", action="store_true",
+                    help="ride the crash flight recorder along; a "
+                         "failed run dumps postmortem-*.json")
 
     au = sub.add_parser("audit",
                         help="run audited transfers (clean + faulted) and "
@@ -135,6 +161,9 @@ def build_parser() -> argparse.ArgumentParser:
                          "(default: print to stdout)")
     fz.add_argument("--quiet", action="store_true",
                     help="suppress the per-workload progress line")
+    fz.add_argument("--recorder", action="store_true",
+                    help="ride the crash flight recorder along; each "
+                         "oracle failure dumps postmortem-*.json")
 
     ob = sub.add_parser("observe",
                         help="telemetry-enabled ping-pong: latency "
@@ -160,6 +189,9 @@ def build_parser() -> argparse.ArgumentParser:
     ob.add_argument("--spans-out", metavar="FILE", default=None,
                     help="write the span trees as flow-linked "
                          "chrome://tracing JSON")
+    ob.add_argument("--ledger-out", metavar="FILE", default=None,
+                    help="write a repro-run/1 ledger of this run for "
+                         "later `repro diff`")
 
     sc = sub.add_parser("scale",
                         help="one scale-sweep point: host vs NIC "
@@ -178,6 +210,9 @@ def build_parser() -> argparse.ArgumentParser:
     sc.add_argument("--congestion", action="append", metavar="SCENARIO",
                     choices=["incast", "hotspot", "permutation"],
                     help="also run a congestion scenario (repeatable)")
+    sc.add_argument("--ledger-out", metavar="FILE", default=None,
+                    help="write a repro-run/1 ledger of the measured "
+                         "points for later `repro diff`")
 
     sv = sub.add_parser("serve",
                         help="serving-tier offered-load sweep: "
@@ -216,6 +251,35 @@ def build_parser() -> argparse.ArgumentParser:
     sv.add_argument("--metrics", choices=["prom", "json"], default=None,
                     help="also dump the telemetry metrics registry "
                          "(last load point)")
+    sv.add_argument("--ledger-out", metavar="FILE", default=None,
+                    help="write a repro-run/1 ledger of the last load "
+                         "point for later `repro diff`")
+    sv.add_argument("--recorder", action="store_true",
+                    help="ride the crash flight recorder along; a "
+                         "crashed load point dumps postmortem-*.json")
+
+    df = sub.add_parser("diff",
+                        help="regression attribution between two run "
+                             "ledgers or BENCH_*.json artifacts: ranked "
+                             "stage/metric deltas, bounding stage named")
+    df.add_argument("run_a", help="baseline ledger or BENCH_*.json")
+    df.add_argument("run_b", help="candidate ledger or BENCH_*.json")
+    df.add_argument("--metric", metavar="NAME", default=None,
+                    help="headline metric for the attribution line "
+                         "(substring match, e.g. p99)")
+    df.add_argument("--top", type=int, default=10,
+                    help="rows per delta table (default 10)")
+    df.add_argument("--max-stage-drift", type=float, default=None,
+                    metavar="PCT",
+                    help="exit 1 if any stage moved more than PCT%% of "
+                         "run A's total stage time (CI noise gate)")
+
+    pm = sub.add_parser("postmortem",
+                        help="render a flight-recorder postmortem-*.json: "
+                             "last-K timeline, open spans, metrics")
+    pm.add_argument("file", help="postmortem-*.json to render")
+    pm.add_argument("--last", type=int, default=20, metavar="K",
+                    help="rows per timeline section (default 20)")
     return parser
 
 
@@ -229,16 +293,28 @@ def _cmd_evaluate(args) -> int:
         from repro import audit
         audit.enable()
     cache = None if args.no_cache else RunCache(args.cache_dir)
+    sink = {} if args.ledger_out else None
     try:
         results = run_all(include_ablations=not args.no_ablations,
                           include_extensions=not args.no_extensions,
-                          jobs=args.jobs, cache=cache, only=args.only)
+                          jobs=args.jobs, cache=cache, only=args.only,
+                          ledger_sink=sink)
     except ValueError as exc:
         print(f"repro evaluate: error: {exc}", file=sys.stderr)
         return 2
     for result in results:
         print(result.format())
         print()
+    if args.ledger_out:
+        from repro.telemetry.ledger import make_ledger, write_ledger
+        doc = make_ledger(
+            "evaluate", cfg=DAWNING_3000,
+            events=sink.get("events") or None,
+            stages=sink.get("stages"),
+            extra={"cells": sink.get("cells", 0),
+                   "experiments": [r.experiment_id for r in results]})
+        write_ledger(args.ledger_out, doc)
+        print(f"wrote run ledger to {args.ledger_out}")
     return 0
 
 
@@ -324,10 +400,22 @@ def _cmd_faults(args) -> int:
                      duplicate_rate=args.duplicate,
                      reorder_rate=args.reorder)
     cluster = Cluster(n_nodes=2, cfg=LOSSY_DAWNING, fault_plan=plan,
-                      trace=args.trace_output is not None)
+                      trace=(args.trace_output is not None
+                             or args.recorder or None),
+                      recorder=args.recorder or None)
     tracker = RecoveryTracker(cluster)
-    sample = measure_one_way(cluster, args.bytes, repeats=args.messages,
-                             warmup=1)
+    try:
+        sample = measure_one_way(cluster, args.bytes,
+                                 repeats=args.messages, warmup=1)
+    except BaseException as exc:
+        if cluster.recorder is not None \
+                and type(exc).__name__ != "AuditError":
+            path = cluster.recorder.dump(
+                f"faults: {type(exc).__name__}", note=str(exc))
+            if path:
+                print(f"repro faults: postmortem written to {path}",
+                      file=sys.stderr)
+        raise
     print(f"plan: {plan.describe()}")
     print(f"{args.bytes}-byte one-way latency under faults: "
           f"{sample.latency_us:.2f} us "
@@ -485,12 +573,19 @@ def _cmd_fuzz(args) -> int:
     print(f"fuzz: seed={args.seed} runs={args.runs} "
           f"schedules={args.schedules} max-ops={args.max_ops}"
           f"{' (fault-free)' if args.no_faults else ''}")
-    result = run_campaign(args.seed, args.runs,
-                          n_schedules=args.schedules,
-                          max_ops=args.max_ops,
-                          allow_faults=not args.no_faults,
-                          shrink=args.shrink,
-                          progress=progress)
+    if args.recorder:
+        from repro.telemetry import recorder as recorder_mod
+        recorder_mod.enable()
+    try:
+        result = run_campaign(args.seed, args.runs,
+                              n_schedules=args.schedules,
+                              max_ops=args.max_ops,
+                              allow_faults=not args.no_faults,
+                              shrink=args.shrink,
+                              progress=progress)
+    finally:
+        if args.recorder:
+            recorder_mod.disable()
     mix = ", ".join(f"{layer} x{count}"
                     for layer, count in sorted(result.by_layer.items()))
     print(f"fuzz: {result.checked} workloads checked ({mix}) under "
@@ -551,10 +646,16 @@ def _cmd_observe(args) -> int:
         print(render_drilldown(session, mid))
     if args.spans_out is not None:
         events = session.chrome_events()
+        _ensure_parent(args.spans_out)
         with open(args.spans_out, "w", encoding="utf-8") as fh:
             json.dump({"traceEvents": events, "displayTimeUnit": "ns"}, fh)
         print(f"\nwrote {len(events)} span events to {args.spans_out} "
               "(flow arrows link the lifecycle hops)")
+    if args.ledger_out is not None:
+        from repro.telemetry.ledger import write_ledger
+        write_ledger(args.ledger_out,
+                     session.to_ledger("observe", seed=args.seed))
+        print(f"wrote run ledger to {args.ledger_out}")
     if args.metrics == "prom":
         print()
         print(session.registry.render_prometheus(), end="")
@@ -593,6 +694,23 @@ def _cmd_scale(args) -> int:
         print(f"{scenario} x {args.ranks} ranks on {args.topology}: "
               f"{p['elapsed_us']:.2f} us, {p['bandwidth_mb_s']:.1f} MB/s "
               f"aggregate, tail spread {p['tail_spread_us']:.2f} us")
+    if args.ledger_out:
+        from repro.telemetry.ledger import make_ledger, write_ledger
+        stages: dict[str, int] = {}
+        events = 0
+        for p in points.values():
+            for stage, us in p.get("stage_table") or []:
+                stages[stage] = stages.get(stage, 0) + int(round(us * 1000))
+            events += int(p.get("events", 0))
+        doc = make_ledger(
+            "scale", cfg=DAWNING_3000, events=events or None,
+            stages=stages,
+            extra={"n_ranks": args.ranks, "topology": args.topology,
+                   "op": args.op,
+                   "latency_us": {policy: p["latency_us"]
+                                  for policy, p in points.items()}})
+        write_ledger(args.ledger_out, doc)
+        print(f"wrote run ledger to {args.ledger_out}")
     return 0
 
 
@@ -634,7 +752,9 @@ def _cmd_serve(args) -> int:
     for rho in loads:
         cluster = Cluster(n_nodes=scfg.n_servers + scfg.n_client_ranks,
                           trace=args.stages or None,
-                          telemetry=True if args.metrics else None)
+                          telemetry=(True if args.metrics
+                                     or args.ledger_out else None),
+                          recorder=args.recorder or None)
         agg = None
         if args.stages:
             agg = _StageAggregator(cluster.tracer)
@@ -660,6 +780,51 @@ def _cmd_serve(args) -> int:
             print(session.registry.render_prometheus(), end="")
         else:
             print(session.registry.to_json())
+    if args.ledger_out and session is not None:
+        from repro.telemetry.ledger import write_ledger
+        write_ledger(args.ledger_out,
+                     session.to_ledger(
+                         "serve", seed=scfg.seed,
+                         extra={"loads": loads,
+                                "policy": scfg.policy,
+                                "arrivals": scfg.arrivals}))
+        print(f"wrote run ledger to {args.ledger_out}")
+    return 0
+
+
+def _cmd_diff(args) -> int:
+    from repro.telemetry.diff import diff_runs
+
+    try:
+        diff = diff_runs(args.run_a, args.run_b)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"repro diff: error: {exc}", file=sys.stderr)
+        return 2
+    print(diff.render(top=args.top))
+    if args.metric:
+        print()
+        print(diff.attribution(metric=args.metric))
+    if args.max_stage_drift is not None:
+        drift = diff.max_stage_drift_pct
+        if drift > args.max_stage_drift:
+            print(f"FAIL: stage drift {drift:.1f}% exceeds the "
+                  f"{args.max_stage_drift:g}% ceiling "
+                  f"(top stage: {diff.top_stage})", file=sys.stderr)
+            return 1
+        print(f"ok: max stage drift {drift:.1f}% within the "
+              f"{args.max_stage_drift:g}% ceiling")
+    return 0
+
+
+def _cmd_postmortem(args) -> int:
+    from repro.telemetry.recorder import load_postmortem, render_postmortem
+
+    try:
+        doc = load_postmortem(args.file)
+    except (OSError, ValueError) as exc:
+        print(f"repro postmortem: error: {exc}", file=sys.stderr)
+        return 2
+    print(render_postmortem(doc, last=args.last))
     return 0
 
 
@@ -676,6 +841,8 @@ _COMMANDS = {
     "observe": _cmd_observe,
     "scale": _cmd_scale,
     "serve": _cmd_serve,
+    "diff": _cmd_diff,
+    "postmortem": _cmd_postmortem,
 }
 
 

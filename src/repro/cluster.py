@@ -52,7 +52,8 @@ class Cluster:
                  fault_plan: Optional[FaultPlan] = None,
                  env: Optional[Environment] = None,
                  audit: Optional[bool] = None,
-                 telemetry: Optional[bool] = None):
+                 telemetry: Optional[bool] = None,
+                 recorder: Optional[bool] = None):
         if architecture not in ARCHITECTURES:
             raise ValueError(
                 f"unknown architecture {architecture!r}; "
@@ -113,6 +114,17 @@ class Cluster:
         if telemetry:
             from repro.telemetry import TelemetrySession
             self.telemetry = TelemetrySession(self)
+        # Crash flight recorder: a bounded ring of recent heartbeats
+        # and span openings, dumped to postmortem-*.json on failure.
+        # Another pure observer; ``recorder=None`` defers to the global
+        # switch (repro.telemetry.recorder.enable() / REPRO_RECORDER=1).
+        self.recorder = None
+        if recorder is None:
+            from repro.telemetry import recorder as _recorder_mod
+            recorder = _recorder_mod.enabled()
+        if recorder:
+            from repro.telemetry.recorder import FlightRecorder
+            self.recorder = FlightRecorder(self)
 
     # ------------------------------------------------------------- access
     def node(self, node_id: int) -> Node:

@@ -295,7 +295,8 @@ def _execute(cells: Sequence[Cell], cfg: CostModel, jobs: int,
 def run_all(cfg: CostModel = DAWNING_3000, include_ablations: bool = True,
             include_extensions: bool = True, jobs: int = 1,
             cache: Optional[RunCache] = None,
-            only: Optional[Sequence[str]] = None) -> list[ExperimentResult]:
+            only: Optional[Sequence[str]] = None,
+            ledger_sink: Optional[dict] = None) -> list[ExperimentResult]:
     """All experiment results, in paper order, then the extensions.
 
     ``jobs > 1`` distributes the cells over worker processes; the merge
@@ -303,6 +304,14 @@ def run_all(cfg: CostModel = DAWNING_3000, include_ablations: bool = True,
     identical to a serial run.  ``cache`` (a :class:`RunCache`) reuses
     payloads across invocations; ``only`` restricts the run to the
     named experiments (see ``--list`` for the names).
+
+    ``ledger_sink`` (a dict, mutated in place) collects the raw
+    material for a ``repro-run/1`` ledger from every cell payload that
+    carries it: ``stages`` (canonical stage -> total simulated ns,
+    folded from per-cell ``stage_table`` microsecond rows), ``events``
+    (summed engine events) and ``cells`` (payloads seen).  The CLI's
+    ``--ledger-out`` hands this to
+    :func:`repro.telemetry.ledger.make_ledger`.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -313,6 +322,20 @@ def run_all(cfg: CostModel = DAWNING_3000, include_ablations: bool = True,
         for cell in cells:
             unique.setdefault(cell)
     payloads = _execute(list(unique), cfg, jobs, cache)
+    if ledger_sink is not None:
+        stages = ledger_sink.setdefault("stages", {})
+        ledger_sink.setdefault("events", 0)
+        ledger_sink.setdefault("cells", 0)
+        for payload in payloads.values():
+            if not isinstance(payload, dict):
+                continue
+            ledger_sink["cells"] += 1
+            for stage, us in payload.get("stage_table") or []:
+                stages[stage] = stages.get(stage, 0) \
+                    + int(round(us * 1000))
+            events = payload.get("events")
+            if isinstance(events, (int, float)):
+                ledger_sink["events"] += int(events)
     return [experiment.merge(cfg, [payloads[cell] for cell in cells])
             for experiment, cells in zip(selected, cell_lists)]
 

@@ -75,6 +75,17 @@ def run_campaign(base_seed: int, runs: int, n_schedules: int = 5,
         if failure is None:
             continue
         result.failures.append(failure)
+        # With the flight recorder on, the cluster that just failed its
+        # oracle left the most recent recorder behind — dump it so the
+        # failure ships with a last-K event timeline, not just the
+        # shrunk spec.
+        from repro.telemetry import recorder as _recorder_mod
+        if _recorder_mod.enabled():
+            rec = _recorder_mod.last()
+            if rec is not None:
+                rec.dump(f"fuzz: oracle {failure.oracle} "
+                         f"(workload {index})",
+                         note=failure.describe())
         if shrink:
             result.shrunk.append(
                 shrink_failure(spec, failure, seeds,

@@ -15,6 +15,7 @@ Usage::
 from __future__ import annotations
 
 import json
+import os
 from typing import IO, Optional, Union
 
 from repro.sim.trace import Tracer
@@ -85,6 +86,11 @@ def write_chrome_trace(tracer: Tracer, destination: Union[str, IO[str]],
     events = chrome_trace_events(tracer, message_id)
     payload = {"traceEvents": events, "displayTimeUnit": "ns"}
     if isinstance(destination, str):
+        # A fresh output directory must not fail the dump after the
+        # traced run already did its work (same contract as
+        # benchmarks' write_bench and the ledger writer).
+        parent = os.path.dirname(os.path.abspath(destination))
+        os.makedirs(parent, exist_ok=True)
         with open(destination, "w", encoding="utf-8") as fh:
             json.dump(payload, fh)
     else:

@@ -327,8 +327,18 @@ def run_serve(scfg: ServeConfig, rho: float,
             return (yield from server_main(ep))
         return (yield from client_main(ep, ep.rank - n_servers))
 
-    run_spmd(cluster, n_ranks, rank_fn, layer="eadi",
-             placement=list(range(n_ranks)))
+    try:
+        run_spmd(cluster, n_ranks, rank_fn, layer="eadi",
+                 placement=list(range(n_ranks)))
+    except BaseException as exc:
+        # A crashed load point is exactly what the flight recorder is
+        # for: ship the last-K timeline before the exception propagates
+        # (dump() is exception-safe; an AuditError already dumped).
+        recorder = getattr(env, "_recorder", None)
+        if recorder is not None and type(exc).__name__ != "AuditError":
+            recorder.dump(f"serve: {type(exc).__name__} at rho={rho}",
+                          note=str(exc))
+        raise
 
     # -------------------------------------------------------- reporting
     latencies_ns.sort()

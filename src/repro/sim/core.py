@@ -416,8 +416,9 @@ class Environment:
     """
 
     __slots__ = ("_now", "_heap", "_seq", "_active_process", "_timeout_pool",
-                 "_audit", "_tie_break", "_telemetry", "_use_heap",
-                 "_bucket", "_pos", "_buckets", "_times", "_n_events")
+                 "_audit", "_tie_break", "_telemetry", "_recorder",
+                 "_use_heap", "_bucket", "_pos", "_buckets", "_times",
+                 "_n_events")
 
     def __init__(self, initial_time: int = 0, tie_break=None,
                  scheduler: str = "calendar"):
@@ -437,6 +438,11 @@ class Environment:
         # Optional repro.telemetry.TelemetrySession, looked up the same
         # way by runtime-created endpoints that register instruments.
         self._telemetry = None
+        # Optional repro.telemetry.recorder.FlightRecorder; heartbeats
+        # are taken only where the clock advances to a new instant, so
+        # the disabled path costs one attribute read per clock advance
+        # and the per-event hot loop stays untouched.
+        self._recorder = None
         if tie_break is not None and not callable(
                 getattr(tie_break, "key", None)):
             raise SimulationError(
@@ -586,6 +592,8 @@ class Environment:
             when, _, event = heappop(self._heap)
             if when < self._now:  # pragma: no cover - engine invariant
                 raise SimulationError("time went backwards")
+            if self._recorder is not None and when > self._now:
+                self._recorder.on_advance(when, self._n_events)
             self._now = when
         else:
             if self._pos >= len(self._bucket):
@@ -594,6 +602,8 @@ class Environment:
                 when = heappop(self._times)
                 if when < self._now:  # pragma: no cover - engine invariant
                     raise SimulationError("time went backwards")
+                if self._recorder is not None:
+                    self._recorder.on_advance(when, self._n_events)
                 self._bucket = self._buckets.pop(when)
                 self._pos = 0
                 self._now = when
@@ -641,6 +651,7 @@ class Environment:
         times = self._times
         pool = self._timeout_pool
         audit = self._audit
+        recorder = self._recorder
         bucket = self._bucket
         pos = self._pos
         n = self._n_events
@@ -676,6 +687,8 @@ class Environment:
                     pos = 0
                     if audit is not None and when < self._now:
                         audit.on_past_event(bucket[0], when, self._now)
+                    if recorder is not None:
+                        recorder.on_advance(when, n)
                     self._now = when
                     continue
                 n += 1
@@ -713,6 +726,7 @@ class Environment:
         heap = self._heap
         pool = self._timeout_pool
         audit = self._audit
+        recorder = self._recorder
         n = self._n_events
         try:
             while True:
@@ -739,6 +753,8 @@ class Environment:
                 when, _, event = heappop(heap)
                 if audit is not None and when < self._now:
                     audit.on_past_event(event, when, self._now)
+                if recorder is not None and when > self._now:
+                    recorder.on_advance(when, n)
                 self._now = when
                 n += 1
                 callbacks = event._callbacks

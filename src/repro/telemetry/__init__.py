@@ -19,7 +19,17 @@ query instead of an aggregate experiment output:
   stage, naming the stage that bounded end-to-end latency and flagging
   anomalies (pin-down thrashing, injected faults, recovery stalls);
 * :mod:`repro.telemetry.session` / ``repro observe`` — the per-cluster
-  session and operator CLI over all of the above.
+  session and operator CLI over all of the above;
+* :mod:`repro.telemetry.ledger` — self-describing ``repro-run/1``
+  run artifacts (config digest, stage table, exact percentiles) with
+  BENCH perf files readable as a special case;
+* :mod:`repro.telemetry.diff` — ``repro diff`` / :func:`diff_runs`
+  regression attribution between two ledgers, naming the stage whose
+  share grew;
+* :mod:`repro.telemetry.recorder` — the crash flight recorder
+  (``REPRO_RECORDER=1``): bounded rings of recent heartbeats and span
+  openings, dumped to ``postmortem-*.json`` on audit violations,
+  oracle failures and serve crashes.
 
 Enable globally with :func:`enable` (or ``REPRO_TELEMETRY=1``,
 inherited by ``--jobs N`` workers), or per cluster with
@@ -41,7 +51,20 @@ from repro.telemetry.critical_path import (
     attribute_records,
     canonical_stage,
 )
+from repro.telemetry.diff import MetricDelta, RunDiff, StageDelta, diff_runs
+from repro.telemetry.ledger import (
+    RunView,
+    config_digest,
+    load_run,
+    make_ledger,
+    write_ledger,
+)
 from repro.telemetry.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.telemetry.recorder import (
+    FlightRecorder,
+    load_postmortem,
+    render_postmortem,
+)
 from repro.telemetry.session import TelemetrySession
 from repro.telemetry.spans import (
     Span,
@@ -54,19 +77,31 @@ __all__ = [
     "Counter",
     "CriticalPathReport",
     "FIGURE7_STAGES",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
+    "MetricDelta",
     "MetricsRegistry",
+    "RunDiff",
+    "RunView",
     "Span",
     "SpanBuilder",
+    "StageDelta",
     "StageShare",
     "TelemetrySession",
     "attribute_records",
     "canonical_stage",
+    "config_digest",
+    "diff_runs",
     "disable",
     "enable",
     "enabled",
+    "load_postmortem",
+    "load_run",
+    "make_ledger",
+    "render_postmortem",
     "spans_to_chrome",
+    "write_ledger",
     "write_spans_jsonl",
 ]
 

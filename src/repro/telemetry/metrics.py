@@ -47,11 +47,24 @@ def _label_items(labels: dict[str, Any]) -> LabelItems:
     return tuple(sorted((k, str(v)) for k, v in labels.items()))
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition spec:
+    backslash, double quote and newline must be written as ``\\\\``,
+    ``\\"`` and ``\\n`` or the output is unparseable."""
+    return (value.replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _escape_help(text: str) -> str:
+    """HELP text escaping: backslash and newline (quotes are legal)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _render_labels(items: LabelItems, extra: LabelItems = ()) -> str:
     merged = items + extra
     if not merged:
         return ""
-    body = ",".join(f'{k}="{v}"' for k, v in merged)
+    body = ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in merged)
     return "{" + body + "}"
 
 
@@ -297,7 +310,8 @@ class MetricsRegistry:
                 seen_meta.add(instrument.name)
                 help_text = self._help.get(instrument.name, "")
                 if help_text:
-                    lines.append(f"# HELP {instrument.name} {help_text}")
+                    lines.append(f"# HELP {instrument.name} "
+                                 f"{_escape_help(help_text)}")
                 lines.append(f"# TYPE {instrument.name} {instrument.kind}")
             labels = instrument.labels
             if isinstance(instrument, Histogram):

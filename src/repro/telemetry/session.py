@@ -143,6 +143,59 @@ class TelemetrySession:
     def chrome_events(self) -> list[dict]:
         return spans_to_chrome(self.span_trees())
 
+    # ------------------------------------------------------------ ledger
+    def to_ledger(self, kind: str = "run", *, seed: Optional[int] = None,
+                  wall_s: Optional[float] = None,
+                  extra: Optional[dict] = None) -> dict:
+        """Snapshot this session as a ``repro-run/1`` ledger document.
+
+        The stage table comes from the per-message critical-path
+        reports (which include wire time and wait gaps, so it sums to
+        end-to-end latency); when no message completed, it falls back
+        to the raw ``repro_stage_ns_total`` counters.  Percentiles are
+        the exact nearest-rank p50/p99/p99.9 of every populated
+        histogram in the registry.
+        """
+        import json as _json
+
+        from repro.telemetry.ledger import make_ledger
+
+        stages: dict[str, int] = {}
+        for report in self.reports():
+            for share in report.stages:
+                stages[share.stage] = stages.get(share.stage, 0) \
+                    + share.ns
+        if not stages:
+            for instrument in self.registry:
+                if instrument.name != "repro_stage_ns_total":
+                    continue
+                stage = dict(instrument.labels).get("stage", "?")
+                stages[stage] = stages.get(stage, 0) \
+                    + int(instrument.value())
+
+        self._refresh()
+        percentiles: dict[str, dict[str, float]] = {}
+        for instrument in self.registry:
+            if not isinstance(instrument, Histogram) or not instrument.count:
+                continue
+            labels = dict(instrument.labels)
+            key = instrument.name
+            if labels:
+                key += "{" + ",".join(f"{k}={v}" for k, v in
+                                      sorted(labels.items())) + "}"
+            percentiles[key] = {
+                "p50": instrument.quantile(0.50),
+                "p99": instrument.quantile(0.99),
+                "p999": instrument.quantile(0.999),
+            }
+
+        return make_ledger(
+            kind, seed=seed, cfg=self.cluster.cfg,
+            events=self.cluster.env.events_processed, wall_s=wall_s,
+            stages=stages, percentiles=percentiles,
+            metrics=_json.loads(self.registry.to_json())["metrics"],
+            extra=extra)
+
     def detach(self) -> None:
         """Stop observing (listener off, env hook cleared)."""
         self.cluster.tracer.remove_listener(self._on_record)

@@ -162,3 +162,24 @@ def test_instrument_kinds():
     assert Counter("c", "", ()).kind == "counter"
     assert Gauge("g", "", ()).kind == "gauge"
     assert Histogram("h", "", ()).kind == "histogram"
+
+
+def test_prometheus_label_value_escaping():
+    """Backslash, double quote and newline in a label value must be
+    escaped per the exposition spec or the output is unparseable."""
+    registry = MetricsRegistry()
+    registry.counter("repro_paths_total", "seen paths",
+                     path='C:\\tmp\n"x"').inc()
+    text = registry.render_prometheus()
+    expected = 'repro_paths_total{path="C:\\\\tmp\\n\\"x\\""} 1'
+    assert expected in text.splitlines()
+    # No sample line may span lines: every raw newline is escaped.
+    assert all(line.count('"') % 2 == 0
+               for line in text.splitlines() if "{" in line)
+
+
+def test_prometheus_help_escaping():
+    registry = MetricsRegistry()
+    registry.gauge("repro_esc", "multi\nline \\ help").set(1)
+    text = registry.render_prometheus()
+    assert "# HELP repro_esc multi\\nline \\\\ help" in text.splitlines()
